@@ -1,0 +1,143 @@
+// Ablation study (not a paper artifact; see DESIGN.md §5): how much of the
+// VOI ranking's value comes from each ingredient?
+//   full      — Eq. 6 with p̃ = update score (evidence-weighted Eq. 7)
+//   flat-p    — Eq. 6 with p̃ ≡ 1 (no repair-certainty prior)
+//   score-only— rank groups by Σ scores alone (no violation deltas)
+//   size      — rank by group size (the paper's Greedy)
+// All run the GDR-NoLearning protocol (user verifies everything) with a
+// fixed budget, so differences are attributable to the ranking alone.
+//
+// Flags: --records=N (default 10000) --seed=S --budget_pct=P (default 40)
+#include <cstdio>
+#include <numeric>
+
+#include "bench/bench_util.h"
+#include "core/gdr.h"
+#include "core/quality.h"
+#include "sim/dataset1.h"
+#include "sim/oracle.h"
+#include "util/stopwatch.h"
+
+namespace gdr {
+namespace {
+
+// A miniature engine loop that verifies whole groups in a caller-supplied
+// order until the budget is spent; isolates the ranking policy.
+template <typename RankFn>
+double RunWithRanking(const Dataset& dataset, std::size_t budget,
+                      const RankFn& pick_group) {
+  Table working = dataset.dirty;
+  ViolationIndex index(&working, &dataset.rules);
+  RepairState state;
+  UpdatePool pool;
+  UpdateGenerator generator(&index, &working, &state);
+  ConsistencyManager manager(&index, &pool, &state, &generator);
+  manager.Initialize();
+  const std::vector<double> weights = ContextRuleWeights(index);
+  QualityEvaluator evaluator(dataset.clean, &dataset.rules, weights);
+  const double initial_loss = evaluator.Loss(index);
+  UserOracle oracle(&dataset.clean);
+
+  std::size_t used = 0;
+  while (used < budget && manager.HasDirtyRows() && !pool.empty()) {
+    std::vector<UpdateGroup> groups = GroupUpdates(pool);
+    if (groups.empty()) break;
+    const std::size_t picked = pick_group(index, weights, groups);
+    std::size_t consumed = 0;
+    for (const Update& update : groups[picked].updates) {
+      if (used >= budget) break;
+      const auto pooled = pool.Get(update.cell());
+      if (!pooled || !(*pooled == update)) continue;
+      manager.ApplyFeedback(update,
+                            oracle.GetFeedback(working, update));
+      ++used;
+      ++consumed;
+    }
+    if (consumed == 0) break;
+  }
+  return evaluator.ImprovementPct(index, initial_loss);
+}
+
+}  // namespace
+}  // namespace gdr
+
+int main(int argc, char** argv) {
+  using namespace gdr;
+  const bench::Flags flags(argc, argv);
+  Dataset1Options options;
+  options.num_records =
+      static_cast<std::size_t>(flags.GetInt("records", 10000));
+  options.seed = static_cast<std::uint64_t>(flags.GetInt("seed", 42));
+  auto dataset = GenerateDataset1(options);
+  if (!dataset.ok()) return 1;
+
+  Table dirty = dataset->dirty;
+  ViolationIndex probe(&dirty, &dataset->rules);
+  const std::size_t budget = static_cast<std::size_t>(
+      static_cast<double>(probe.DirtyRows().size()) *
+      flags.GetDouble("budget_pct", 40.0) / 100.0);
+  std::printf("== VOI ablation: %s, budget=%zu ==\n",
+              dataset->name.c_str(), budget);
+
+  struct Variant {
+    const char* name;
+    std::size_t (*pick)(ViolationIndex&, const std::vector<double>&,
+                        const std::vector<UpdateGroup>&);
+  };
+  const Variant variants[] = {
+      {"full-voi",
+       [](ViolationIndex& index, const std::vector<double>& weights,
+          const std::vector<UpdateGroup>& groups) {
+         VoiRanker ranker(&index, &weights);
+         return ranker
+             .Rank(groups, [](const Update& u) { return u.score; })
+             .order.front();
+       }},
+      {"flat-p",
+       [](ViolationIndex& index, const std::vector<double>& weights,
+          const std::vector<UpdateGroup>& groups) {
+         VoiRanker ranker(&index, &weights);
+         return ranker.Rank(groups, [](const Update&) { return 1.0; })
+             .order.front();
+       }},
+      {"score-only",
+       [](ViolationIndex&, const std::vector<double>&,
+          const std::vector<UpdateGroup>& groups) {
+         std::size_t best = 0;
+         double best_score = -1.0;
+         for (std::size_t i = 0; i < groups.size(); ++i) {
+           double sum = 0.0;
+           for (const Update& u : groups[i].updates) sum += u.score;
+           if (sum > best_score) {
+             best_score = sum;
+             best = i;
+           }
+         }
+         return best;
+       }},
+      {"size",
+       [](ViolationIndex&, const std::vector<double>&,
+          const std::vector<UpdateGroup>& groups) {
+         std::size_t best = 0;
+         for (std::size_t i = 1; i < groups.size(); ++i) {
+           if (groups[i].size() > groups[best].size()) best = i;
+         }
+         return best;
+       }},
+  };
+
+  std::printf("%-12s %14s %8s\n", "ranking", "improvement%", "wall");
+  for (const Variant& variant : variants) {
+    Stopwatch watch;
+    const double improvement =
+        RunWithRanking(*dataset, budget,
+                       [&variant](ViolationIndex& index,
+                                  const std::vector<double>& weights,
+                                  const std::vector<UpdateGroup>& groups) {
+                         return variant.pick(index, weights, groups);
+                       });
+    std::printf("%-12s %14.1f %7.1fs\n", variant.name, improvement,
+                watch.ElapsedSeconds());
+  }
+  return 0;
+}

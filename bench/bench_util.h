@@ -1,0 +1,45 @@
+#ifndef GDR_BENCH_BENCH_UTIL_H_
+#define GDR_BENCH_BENCH_UTIL_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+
+namespace gdr::bench {
+
+/// Minimal --key=value flag reader for the figure harnesses.
+class Flags {
+ public:
+  Flags(int argc, char** argv) : argc_(argc), argv_(argv) {}
+
+  std::int64_t GetInt(std::string_view name, std::int64_t default_value) const {
+    const std::string value = GetRaw(name);
+    return value.empty() ? default_value : std::atoll(value.c_str());
+  }
+
+  double GetDouble(std::string_view name, double default_value) const {
+    const std::string value = GetRaw(name);
+    return value.empty() ? default_value : std::atof(value.c_str());
+  }
+
+ private:
+  std::string GetRaw(std::string_view name) const {
+    const std::string prefix = "--" + std::string(name) + "=";
+    for (int i = 1; i < argc_; ++i) {
+      const std::string_view arg = argv_[i];
+      if (arg.rfind(prefix, 0) == 0) {
+        return std::string(arg.substr(prefix.size()));
+      }
+    }
+    return "";
+  }
+
+  int argc_;
+  char** argv_;
+};
+
+}  // namespace gdr::bench
+
+#endif  // GDR_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,179 @@
+// Microbenchmarks (google-benchmark) for the substrates GDR is built on:
+// violation-index construction and incremental maintenance, hypothetical
+// evaluation, update generation, VOI scoring, and the ML stack. Not a
+// paper artifact — engineering instrumentation for this implementation.
+#include <benchmark/benchmark.h>
+
+#include "core/quality.h"
+#include "core/voi.h"
+#include "ml/random_forest.h"
+#include "repair/update_generator.h"
+#include "sim/dataset1.h"
+#include "util/rng.h"
+#include "util/string_similarity.h"
+
+namespace gdr {
+namespace {
+
+const Dataset& SharedDataset(std::size_t records) {
+  static Dataset* dataset = [records]() {
+    Dataset1Options options;
+    options.num_records = records;
+    options.seed = 7;
+    return new Dataset(*GenerateDataset1(options));
+  }();
+  return *dataset;
+}
+
+void BM_ViolationIndexBuild(benchmark::State& state) {
+  const Dataset& dataset = SharedDataset(10000);
+  for (auto _ : state) {
+    Table table = dataset.dirty;
+    ViolationIndex index(&table, &dataset.rules);
+    benchmark::DoNotOptimize(index.TotalViolations());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(dataset.dirty.num_rows()));
+}
+BENCHMARK(BM_ViolationIndexBuild)->Unit(benchmark::kMillisecond);
+
+void BM_ApplyCellChange(benchmark::State& state) {
+  const Dataset& dataset = SharedDataset(10000);
+  Table table = dataset.dirty;
+  ViolationIndex index(&table, &dataset.rules);
+  const AttrId zip = table.schema().FindAttr("Zip");
+  Rng rng(3);
+  for (auto _ : state) {
+    const RowId row = static_cast<RowId>(rng.NextBounded(table.num_rows()));
+    const ValueId value =
+        static_cast<ValueId>(rng.NextBounded(table.DomainSize(zip)));
+    const ValueId old = index.ApplyCellChange(row, zip, value);
+    index.ApplyCellChange(row, zip, old);  // restore
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_ApplyCellChange);
+
+void BM_HypotheticalViolatedRuleCount(benchmark::State& state) {
+  const Dataset& dataset = SharedDataset(10000);
+  Table table = dataset.dirty;
+  ViolationIndex index(&table, &dataset.rules);
+  const AttrId zip = table.schema().FindAttr("Zip");
+  Rng rng(5);
+  for (auto _ : state) {
+    const RowId row = static_cast<RowId>(rng.NextBounded(table.num_rows()));
+    const ValueId value =
+        static_cast<ValueId>(rng.NextBounded(table.DomainSize(zip)));
+    benchmark::DoNotOptimize(
+        index.HypotheticalViolatedRuleCount(row, zip, value));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HypotheticalViolatedRuleCount);
+
+void BM_UpdateGeneration(benchmark::State& state) {
+  const Dataset& dataset = SharedDataset(10000);
+  Table table = dataset.dirty;
+  ViolationIndex index(&table, &dataset.rules);
+  RepairState repair_state;
+  UpdateGenerator generator(&index, &table, &repair_state);
+  const std::vector<RowId> dirty = index.DirtyRows();
+  std::size_t cursor = 0;
+  for (auto _ : state) {
+    const RowId row = dirty[cursor++ % dirty.size()];
+    for (std::size_t a = 0; a < table.num_attrs(); ++a) {
+      benchmark::DoNotOptimize(
+          generator.UpdateAttributeTuple(row, static_cast<AttrId>(a)));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(table.num_attrs()));
+}
+BENCHMARK(BM_UpdateGeneration);
+
+void BM_VoiUpdateBenefit(benchmark::State& state) {
+  const Dataset& dataset = SharedDataset(10000);
+  Table table = dataset.dirty;
+  ViolationIndex index(&table, &dataset.rules);
+  RepairState repair_state;
+  UpdateGenerator generator(&index, &table, &repair_state);
+  const std::vector<double> weights = ContextRuleWeights(index);
+  VoiRanker ranker(&index, &weights);
+  // Collect a few hundred real updates to score.
+  std::vector<Update> updates;
+  for (RowId row : index.DirtyRows()) {
+    for (std::size_t a = 0; a < table.num_attrs() && updates.size() < 512;
+         ++a) {
+      if (auto u = generator.UpdateAttributeTuple(row, static_cast<AttrId>(a))) {
+        updates.push_back(*u);
+      }
+    }
+    if (updates.size() >= 512) break;
+  }
+  std::size_t cursor = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ranker.UpdateBenefit(updates[cursor++ % updates.size()]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_VoiUpdateBenefit);
+
+void BM_EditDistance(benchmark::State& state) {
+  const std::string a = "Michigan City";
+  const std::string b = "Michigann Cty";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EditDistance(a, b));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EditDistance);
+
+void BM_RandomForestTrain(benchmark::State& state) {
+  FeatureSchema schema({{"a", FeatureType::kCategorical},
+                        {"b", FeatureType::kCategorical},
+                        {"c", FeatureType::kNumeric},
+                        {"d", FeatureType::kNumeric}});
+  TrainingSet set(schema, 3);
+  Rng rng(11);
+  for (std::int64_t i = 0; i < state.range(0); ++i) {
+    const double a = static_cast<double>(rng.NextBounded(20));
+    const double c = rng.NextDouble();
+    (void)set.Add({{a, static_cast<double>(rng.NextBounded(5)), c,
+                    rng.NextDouble()},
+                   c > 0.6 ? 0 : (a > 10 ? 1 : 2)});
+  }
+  for (auto _ : state) {
+    RandomForest forest;
+    benchmark::DoNotOptimize(forest.Train(set).ok());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_RandomForestTrain)->Arg(100)->Arg(500)->Arg(2000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_RandomForestPredict(benchmark::State& state) {
+  FeatureSchema schema({{"a", FeatureType::kCategorical},
+                        {"c", FeatureType::kNumeric}});
+  TrainingSet set(schema, 3);
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    const double a = static_cast<double>(rng.NextBounded(20));
+    const double c = rng.NextDouble();
+    (void)set.Add({{a, c}, c > 0.6 ? 0 : (a > 10 ? 1 : 2)});
+  }
+  RandomForest forest;
+  (void)forest.Train(set).ok();
+  std::vector<double> x = {3.0, 0.4};
+  for (auto _ : state) {
+    x[1] = x[1] < 0.99 ? x[1] + 0.001 : 0.0;
+    benchmark::DoNotOptimize(forest.Uncertainty(x));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RandomForestPredict);
+
+}  // namespace
+}  // namespace gdr
+
+BENCHMARK_MAIN();

@@ -1,0 +1,93 @@
+// Interactive repair session: the production-shaped interface where a real
+// human answers GDR's questions from the terminal. Suggestions arrive in
+// VOI-ranked, uncertainty-ordered batches; answer with
+//   y  — confirm (apply the suggested value)
+//   n  — reject (never suggest this value again)
+//   k  — keep/retain (the current value is correct)
+//   q  — quit the session
+// On EOF (e.g. when run non-interactively) the session ends gracefully.
+//
+// Build & run:  ./build/examples/interactive_repl
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "core/gdr.h"
+
+using namespace gdr;
+
+namespace {
+
+class TerminalUser : public FeedbackProvider {
+ public:
+  Feedback GetFeedback(const Table& table, const Update& update) override {
+    std::printf("\ntuple t%d: %s\n", update.row,
+                table.RowToString(update.row).c_str());
+    std::printf("suggest %s := '%s' (currently '%s', score %.2f)\n",
+                table.schema().attr_name(update.attr).c_str(),
+                table.dict(update.attr).ToString(update.value).c_str(),
+                table.at(update.row, update.attr).c_str(), update.score);
+    std::printf("[y]confirm / [n]reject / [k]retain / [q]uit > ");
+    std::fflush(stdout);
+    std::string line;
+    if (!std::getline(std::cin, line) || line == "q") {
+      quit_ = true;
+      return Feedback::kRetain;  // neutral: freezes this cell and stops
+    }
+    if (line == "y") return Feedback::kConfirm;
+    if (line == "n") return Feedback::kReject;
+    return Feedback::kRetain;
+  }
+
+  bool quit() const { return quit_; }
+
+ private:
+  bool quit_ = false;
+};
+
+}  // namespace
+
+int main() {
+  auto schema = Schema::Make({"STR", "CT", "STT", "ZIP"});
+  if (!schema.ok()) return 1;
+  Table table(*schema);
+  (void)table.AppendRow({"Sherden Rd", "Fort Wayne", "IN", "46825"});
+  (void)table.AppendRow({"Sherden Rd", "Fort Wayne", "IN", "46391"});
+  (void)table.AppendRow({"Oak Ave", "Michigan Cty", "IN", "46360"});
+  (void)table.AppendRow({"Oak Ave", "Michigan City", "IN", "46360"});
+  (void)table.AppendRow({"Main St", "New Haven", "IND", "46774"});
+
+  RuleSet rules(*schema);
+  (void)rules.AddRuleFromString("phi1",
+                                "ZIP=46360 -> CT=Michigan City ; STT=IN");
+  (void)rules.AddRuleFromString("phi2", "ZIP=46774 -> CT=New Haven ; STT=IN");
+  (void)rules.AddRuleFromString("phi3", "ZIP=46825 -> CT=Fort Wayne ; STT=IN");
+  (void)rules.AddRuleFromString("phi5", "STR, CT=Fort Wayne -> ZIP");
+
+  TerminalUser user;
+  GdrOptions options;
+  options.strategy = Strategy::kGdrNoLearning;
+  options.max_outer_iterations = 64;
+  GdrEngine engine(&table, &rules, &user, options);
+  if (!engine.Initialize().ok()) return 1;
+  std::printf("GDR interactive session: %zu dirty tuples, %zu suggestions\n",
+              engine.stats().initial_dirty, engine.pool().size());
+
+  // Run in small budget slices so a 'q' can stop between batches.
+  while (!user.quit() && engine.index().TotalViolations() > 0) {
+    const std::size_t before = engine.stats().user_feedback;
+    if (!engine.Run().ok()) break;
+    if (engine.stats().user_feedback == before) break;  // nothing left
+    break;  // a single Run drains the interaction; loop guards quit
+  }
+
+  std::printf("\nFinal instance:\n");
+  for (std::size_t r = 0; r < table.num_rows(); ++r) {
+    std::printf("  t%zu: %s\n", r,
+                table.RowToString(static_cast<RowId>(r)).c_str());
+  }
+  std::printf("Remaining violations: %lld; answers given: %zu\n",
+              static_cast<long long>(engine.index().TotalViolations()),
+              engine.stats().user_feedback);
+  return 0;
+}

@@ -1,0 +1,148 @@
+#include "cfd/cfd.h"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+namespace gdr {
+
+namespace {
+
+std::string_view Trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+std::vector<std::string_view> Split(std::string_view s, char delim) {
+  std::vector<std::string_view> parts;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == delim) {
+      parts.push_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return parts;
+}
+
+}  // namespace
+
+bool Cfd::LhsContains(AttrId attr) const {
+  return std::any_of(lhs_.begin(), lhs_.end(),
+                     [attr](const PatternCell& c) { return c.attr == attr; });
+}
+
+std::string Cfd::ToString(const Schema& schema) const {
+  std::ostringstream out;
+  out << name_ << ": (";
+  for (std::size_t i = 0; i < lhs_.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << schema.attr_name(lhs_[i].attr);
+    if (lhs_[i].is_constant()) out << "=" << *lhs_[i].constant;
+  }
+  out << " -> " << schema.attr_name(rhs_.attr);
+  if (rhs_.is_constant()) out << "=" << *rhs_.constant;
+  out << ")";
+  return out.str();
+}
+
+Status RuleSet::AddRule(std::string name, std::vector<PatternCell> lhs,
+                        std::vector<PatternCell> rhs) {
+  if (lhs.empty()) return Status::InvalidArgument("rule has empty LHS");
+  if (rhs.empty()) return Status::InvalidArgument("rule has empty RHS");
+
+  auto check_attr = [this](const PatternCell& cell) -> Status {
+    if (cell.attr < 0 ||
+        static_cast<std::size_t>(cell.attr) >= schema_.num_attrs()) {
+      return Status::InvalidArgument("pattern attribute id out of range");
+    }
+    return Status::OK();
+  };
+  for (const PatternCell& cell : lhs) GDR_RETURN_NOT_OK(check_attr(cell));
+  for (const PatternCell& cell : rhs) {
+    GDR_RETURN_NOT_OK(check_attr(cell));
+    for (const PatternCell& l : lhs) {
+      if (l.attr == cell.attr) {
+        return Status::InvalidArgument(
+            "RHS attribute also appears in LHS: " +
+            schema_.attr_name(cell.attr));
+      }
+    }
+  }
+
+  // Normal form: one stored rule per RHS attribute.
+  for (std::size_t i = 0; i < rhs.size(); ++i) {
+    std::string sub_name = name;
+    if (rhs.size() > 1) sub_name += "." + std::to_string(i + 1);
+    const RuleId id = static_cast<RuleId>(rules_.size());
+    rules_.emplace_back(std::move(sub_name), lhs, rhs[i]);
+
+    if (attr_to_rules_.size() < schema_.num_attrs()) {
+      attr_to_rules_.resize(schema_.num_attrs());
+    }
+    const Cfd& added = rules_.back();
+    for (std::size_t a = 0; a < schema_.num_attrs(); ++a) {
+      if (added.Mentions(static_cast<AttrId>(a))) {
+        attr_to_rules_[a].push_back(id);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status RuleSet::AddRuleFromString(std::string name, std::string_view text) {
+  const std::size_t arrow = text.find("->");
+  if (arrow == std::string_view::npos) {
+    return Status::InvalidArgument("rule text lacks '->': " +
+                                   std::string(text));
+  }
+  auto parse_item = [this](std::string_view item) -> Result<PatternCell> {
+    item = Trim(item);
+    if (item.empty()) {
+      return Status::InvalidArgument("empty pattern item");
+    }
+    PatternCell cell;
+    const std::size_t eq = item.find('=');
+    std::string_view attr_name =
+        eq == std::string_view::npos ? item : Trim(item.substr(0, eq));
+    GDR_ASSIGN_OR_RETURN(cell.attr, schema_.GetAttr(attr_name));
+    if (eq != std::string_view::npos) {
+      cell.constant = std::string(Trim(item.substr(eq + 1)));
+    }
+    return cell;
+  };
+
+  std::vector<PatternCell> lhs;
+  for (std::string_view part : Split(text.substr(0, arrow), ',')) {
+    GDR_ASSIGN_OR_RETURN(PatternCell cell, parse_item(part));
+    lhs.push_back(std::move(cell));
+  }
+  std::vector<PatternCell> rhs;
+  for (std::string_view part : Split(text.substr(arrow + 2), ';')) {
+    GDR_ASSIGN_OR_RETURN(PatternCell cell, parse_item(part));
+    rhs.push_back(std::move(cell));
+  }
+  return AddRule(std::move(name), std::move(lhs), std::move(rhs));
+}
+
+const std::vector<RuleId>& RuleSet::RulesMentioning(AttrId attr) const {
+  if (attr < 0 || static_cast<std::size_t>(attr) >= attr_to_rules_.size()) {
+    return empty_;
+  }
+  return attr_to_rules_[static_cast<std::size_t>(attr)];
+}
+
+std::vector<RuleId> RuleSet::AllRuleIds() const {
+  std::vector<RuleId> ids(rules_.size());
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    ids[i] = static_cast<RuleId>(i);
+  }
+  return ids;
+}
+
+}  // namespace gdr

@@ -1,0 +1,112 @@
+#ifndef GDR_CFD_CFD_H_
+#define GDR_CFD_CFD_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "data/schema.h"
+#include "util/result.h"
+
+namespace gdr {
+
+/// Dense index of a rule within a RuleSet.
+using RuleId = std::int32_t;
+
+inline constexpr RuleId kInvalidRuleId = -1;
+
+/// One slot of a CFD pattern tuple tp: an attribute plus either a constant
+/// from dom(attr) or the wildcard '-' (nullopt).
+struct PatternCell {
+  AttrId attr = kInvalidAttrId;
+  std::optional<std::string> constant;  // nullopt means '-'
+
+  bool is_constant() const { return constant.has_value(); }
+};
+
+/// A Conditional Functional Dependency in normal form: φ = (X → A, tp) with
+/// a single RHS attribute (the paper's Appendix A.1). Multi-RHS rules are
+/// split by RuleSet::AddRule.
+///
+/// φ is a *constant* CFD when tp[A] is a constant (violated by single
+/// tuples) and a *variable* CFD when tp[A] = '-' (violated by tuple pairs,
+/// like a standard FD restricted to the pattern context).
+class Cfd {
+ public:
+  Cfd(std::string name, std::vector<PatternCell> lhs, PatternCell rhs)
+      : name_(std::move(name)), lhs_(std::move(lhs)), rhs_(rhs) {}
+
+  const std::string& name() const { return name_; }
+  const std::vector<PatternCell>& lhs() const { return lhs_; }
+  const PatternCell& rhs() const { return rhs_; }
+
+  bool IsConstant() const { return rhs_.is_constant(); }
+  bool IsVariable() const { return !IsConstant(); }
+
+  /// True when `attr` appears in LHS(φ).
+  bool LhsContains(AttrId attr) const;
+
+  /// True when `attr` appears anywhere in the rule (X ∪ {A}).
+  bool Mentions(AttrId attr) const {
+    return rhs_.attr == attr || LhsContains(attr);
+  }
+
+  /// Renders the rule as e.g. "phi1: (ZIP=46360 -> CT=Michigan City)".
+  std::string ToString(const Schema& schema) const;
+
+ private:
+  std::string name_;
+  std::vector<PatternCell> lhs_;
+  PatternCell rhs_;
+};
+
+/// The rule base Σ. Owns normal-form CFDs addressed by dense RuleId.
+class RuleSet {
+ public:
+  explicit RuleSet(Schema schema) : schema_(std::move(schema)) {}
+
+  const Schema& schema() const { return schema_; }
+  std::size_t size() const { return rules_.size(); }
+  bool empty() const { return rules_.empty(); }
+
+  const Cfd& rule(RuleId id) const {
+    return rules_[static_cast<std::size_t>(id)];
+  }
+
+  /// Adds a (possibly multi-RHS) rule, normalizing it into one stored Cfd
+  /// per RHS attribute (named "<name>.1", "<name>.2", ... when split).
+  /// Fails if an attribute id is out of range, the LHS is empty, an RHS
+  /// attribute also appears in the LHS, or the RHS is empty.
+  Status AddRule(std::string name, std::vector<PatternCell> lhs,
+                 std::vector<PatternCell> rhs);
+
+  /// Parses and adds one rule from a compact textual form:
+  ///
+  ///   "ZIP=46360 -> CT=Michigan City ; STT=IN"   (constant CFD, multi-RHS)
+  ///   "STR, CT=Fort Wayne -> ZIP"                (variable CFD)
+  ///
+  /// LHS items are comma-separated, RHS items semicolon-separated. An item
+  /// is "Attr" (wildcard) or "Attr=value"; values extend to the next
+  /// delimiter with surrounding whitespace trimmed.
+  Status AddRuleFromString(std::string name, std::string_view text);
+
+  /// Ids of rules whose LHS or RHS mentions `attr`. Never returns nulls;
+  /// result is ordered by RuleId.
+  const std::vector<RuleId>& RulesMentioning(AttrId attr) const;
+
+  /// All rule ids, [0, size()).
+  std::vector<RuleId> AllRuleIds() const;
+
+ private:
+  Schema schema_;
+  std::vector<Cfd> rules_;
+  // attr -> rule ids mentioning it; rebuilt incrementally by AddRule.
+  std::vector<std::vector<RuleId>> attr_to_rules_;
+  std::vector<RuleId> empty_;
+};
+
+}  // namespace gdr
+
+#endif  // GDR_CFD_CFD_H_

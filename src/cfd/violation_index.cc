@@ -1,0 +1,327 @@
+#include "cfd/violation_index.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace gdr {
+
+std::size_t ViolationIndex::GroupKeyHash::operator()(
+    const GroupKey& key) const {
+  // FNV-1a over the id bytes; exact-key equality is checked by the map.
+  std::uint64_t h = 1469598103934665603ULL;
+  for (ValueId id : key) {
+    h ^= static_cast<std::uint64_t>(static_cast<std::uint32_t>(id));
+    h *= 1099511628211ULL;
+  }
+  return static_cast<std::size_t>(h);
+}
+
+ViolationIndex::ViolationIndex(Table* table, const RuleSet* rules)
+    : table_(table), rules_(rules) {
+  stats_.resize(rules_->size());
+  for (std::size_t i = 0; i < rules_->size(); ++i) {
+    const Cfd& rule = rules_->rule(static_cast<RuleId>(i));
+    RuleStats& rs = stats_[i];
+    rs.is_constant = rule.IsConstant();
+    rs.rhs_attr = rule.rhs().attr;
+    if (rs.is_constant) {
+      rs.rhs_const = table_->InternValue(rs.rhs_attr, *rule.rhs().constant);
+      rs.row_violates.assign(table_->num_rows(), 0);
+    }
+    for (const PatternCell& cell : rule.lhs()) {
+      rs.lhs_attrs.push_back(cell.attr);
+      rs.lhs_consts.push_back(
+          cell.is_constant() ? table_->InternValue(cell.attr, *cell.constant)
+                             : kInvalidValueId);
+    }
+  }
+  for (std::size_t r = 0; r < table_->num_rows(); ++r) {
+    for (RuleStats& rs : stats_) {
+      AddRow(rs, static_cast<RowId>(r));
+    }
+  }
+}
+
+bool ViolationIndex::MatchesContext(const RuleStats& rs, RowId row) const {
+  for (std::size_t i = 0; i < rs.lhs_attrs.size(); ++i) {
+    if (rs.lhs_consts[i] != kInvalidValueId &&
+        table_->id_at(row, rs.lhs_attrs[i]) != rs.lhs_consts[i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+ViolationIndex::GroupKey ViolationIndex::KeyFor(const RuleStats& rs,
+                                                RowId row) const {
+  GroupKey key(rs.lhs_attrs.size());
+  for (std::size_t i = 0; i < rs.lhs_attrs.size(); ++i) {
+    key[i] = table_->id_at(row, rs.lhs_attrs[i]);
+  }
+  return key;
+}
+
+void ViolationIndex::AddRow(RuleStats& rs, RowId row) {
+  if (!MatchesContext(rs, row)) return;
+  ++rs.context_count;
+
+  if (rs.is_constant) {
+    const bool violates = table_->id_at(row, rs.rhs_attr) != rs.rhs_const;
+    if (static_cast<std::size_t>(row) >= rs.row_violates.size()) {
+      rs.row_violates.resize(table_->num_rows(), 0);
+    }
+    rs.row_violates[static_cast<std::size_t>(row)] = violates ? 1 : 0;
+    if (violates) {
+      ++rs.violations;
+      ++rs.violating_tuples;
+    }
+    return;
+  }
+
+  GroupKey key = KeyFor(rs, row);
+  Group& g = rs.groups[key];
+  // Retire the group's old contribution to the rule aggregates, mutate,
+  // then account the new contribution.
+  rs.violations -= g.PairViolations();
+  rs.violating_tuples -= g.ViolatingTuples();
+
+  const ValueId a = table_->id_at(row, rs.rhs_attr);
+  std::int64_t& count = g.counts[a];
+  g.sum_sq += 2 * count + 1;
+  ++count;
+  ++g.total;
+
+  rs.violations += g.PairViolations();
+  rs.violating_tuples += g.ViolatingTuples();
+  rs.members[key].push_back(row);
+}
+
+void ViolationIndex::RemoveRow(RuleStats& rs, RowId row) {
+  if (!MatchesContext(rs, row)) return;
+  --rs.context_count;
+
+  if (rs.is_constant) {
+    if (rs.row_violates[static_cast<std::size_t>(row)]) {
+      --rs.violations;
+      --rs.violating_tuples;
+      rs.row_violates[static_cast<std::size_t>(row)] = 0;
+    }
+    return;
+  }
+
+  GroupKey key = KeyFor(rs, row);
+  auto git = rs.groups.find(key);
+  assert(git != rs.groups.end());
+  Group& g = git->second;
+
+  rs.violations -= g.PairViolations();
+  rs.violating_tuples -= g.ViolatingTuples();
+
+  const ValueId a = table_->id_at(row, rs.rhs_attr);
+  auto cit = g.counts.find(a);
+  assert(cit != g.counts.end() && cit->second > 0);
+  g.sum_sq -= 2 * cit->second - 1;
+  --cit->second;
+  if (cit->second == 0) g.counts.erase(cit);
+  --g.total;
+
+  rs.violations += g.PairViolations();
+  rs.violating_tuples += g.ViolatingTuples();
+
+  auto mit = rs.members.find(key);
+  assert(mit != rs.members.end());
+  std::vector<RowId>& rows = mit->second;
+  auto rit = std::find(rows.begin(), rows.end(), row);
+  assert(rit != rows.end());
+  *rit = rows.back();
+  rows.pop_back();
+
+  if (g.total == 0) {
+    rs.groups.erase(git);
+    rs.members.erase(mit);
+  }
+}
+
+ValueId ViolationIndex::ApplyCellChange(RowId row, AttrId attr,
+                                        ValueId value) {
+  const ValueId old = table_->id_at(row, attr);
+  if (old == value) return old;
+  ++version_;
+  const std::vector<RuleId>& affected = rules_->RulesMentioning(attr);
+  for (RuleId id : affected) {
+    RemoveRow(stats_[static_cast<std::size_t>(id)], row);
+  }
+  table_->SetById(row, attr, value);
+  for (RuleId id : affected) {
+    AddRow(stats_[static_cast<std::size_t>(id)], row);
+  }
+  return old;
+}
+
+ValueId ViolationIndex::ApplyCellChange(RowId row, AttrId attr,
+                                        std::string_view value) {
+  return ApplyCellChange(row, attr, table_->InternValue(attr, value));
+}
+
+std::int64_t ViolationIndex::TupleViolation(RowId row, RuleId rule) const {
+  const RuleStats& rs = stats_[static_cast<std::size_t>(rule)];
+  if (!MatchesContext(rs, row)) return 0;
+  if (rs.is_constant) {
+    return rs.row_violates[static_cast<std::size_t>(row)] ? 1 : 0;
+  }
+  auto git = rs.groups.find(KeyFor(rs, row));
+  if (git == rs.groups.end()) return 0;
+  const Group& g = git->second;
+  auto cit = g.counts.find(table_->id_at(row, rs.rhs_attr));
+  const std::int64_t same = cit == g.counts.end() ? 0 : cit->second;
+  return g.total - same;
+}
+
+bool ViolationIndex::IsDirty(RowId row) const {
+  for (std::size_t i = 0; i < stats_.size(); ++i) {
+    if (TupleViolation(row, static_cast<RuleId>(i)) > 0) return true;
+  }
+  return false;
+}
+
+std::vector<RuleId> ViolationIndex::ViolatedRules(RowId row) const {
+  std::vector<RuleId> out;
+  for (std::size_t i = 0; i < stats_.size(); ++i) {
+    if (TupleViolation(row, static_cast<RuleId>(i)) > 0) {
+      out.push_back(static_cast<RuleId>(i));
+    }
+  }
+  return out;
+}
+
+std::vector<RowId> ViolationIndex::DirtyRows() const {
+  std::vector<RowId> out;
+  for (std::size_t r = 0; r < table_->num_rows(); ++r) {
+    if (IsDirty(static_cast<RowId>(r))) out.push_back(static_cast<RowId>(r));
+  }
+  return out;
+}
+
+std::int64_t ViolationIndex::ViolatedRuleCount(RowId row) const {
+  std::int64_t count = 0;
+  for (std::size_t i = 0; i < stats_.size(); ++i) {
+    if (TupleViolation(row, static_cast<RuleId>(i)) > 0) ++count;
+  }
+  return count;
+}
+
+std::int64_t ViolationIndex::HypotheticalViolatedRuleCount(
+    RowId row, AttrId attr, ValueId value) const {
+  std::int64_t count = 0;
+  for (std::size_t i = 0; i < stats_.size(); ++i) {
+    const RuleStats& rs = stats_[i];
+
+    // Hypothetical cell accessor for this row.
+    auto hyp_at = [&](AttrId a) {
+      return a == attr ? value : table_->id_at(row, a);
+    };
+
+    // Context check under the hypothetical values.
+    bool in_context = true;
+    for (std::size_t k = 0; k < rs.lhs_attrs.size(); ++k) {
+      if (rs.lhs_consts[k] != kInvalidValueId &&
+          hyp_at(rs.lhs_attrs[k]) != rs.lhs_consts[k]) {
+        in_context = false;
+        break;
+      }
+    }
+    if (!in_context) continue;
+
+    if (rs.is_constant) {
+      if (hyp_at(rs.rhs_attr) != rs.rhs_const) ++count;
+      continue;
+    }
+
+    // Variable rule: conflicts against the hypothetical LHS group,
+    // excluding this row's own current contribution.
+    GroupKey key(rs.lhs_attrs.size());
+    for (std::size_t k = 0; k < rs.lhs_attrs.size(); ++k) {
+      key[k] = hyp_at(rs.lhs_attrs[k]);
+    }
+    auto git = rs.groups.find(key);
+    if (git == rs.groups.end()) continue;  // fresh group: no partners
+    const Group& g = git->second;
+
+    // Is the row currently a member of this (hypothetical) group? It is
+    // iff its current LHS values equal the hypothetical key and it matches
+    // the context now — equivalently, changing `attr` kept the key, which
+    // happens when attr is not in X or value == old_value.
+    bool currently_member = MatchesContext(rs, row);
+    if (currently_member) {
+      for (std::size_t k = 0; k < rs.lhs_attrs.size(); ++k) {
+        if (table_->id_at(row, rs.lhs_attrs[k]) != key[k]) {
+          currently_member = false;
+          break;
+        }
+      }
+    }
+    const ValueId rhs_hyp = hyp_at(rs.rhs_attr);
+    std::int64_t others = g.total;
+    auto cit = g.counts.find(rhs_hyp);
+    std::int64_t others_same = cit == g.counts.end() ? 0 : cit->second;
+    if (currently_member) {
+      --others;
+      if (table_->id_at(row, rs.rhs_attr) == rhs_hyp) --others_same;
+    }
+    if (others - others_same > 0) ++count;
+  }
+  return count;
+}
+
+std::int64_t ViolationIndex::GroupTotal(RowId row, RuleId rule) const {
+  const RuleStats& rs = stats_[static_cast<std::size_t>(rule)];
+  if (rs.is_constant || !MatchesContext(rs, row)) return 0;
+  auto git = rs.groups.find(KeyFor(rs, row));
+  return git == rs.groups.end() ? 0 : git->second.total;
+}
+
+std::int64_t ViolationIndex::GroupRhsValueCount(RowId row, RuleId rule,
+                                                ValueId value) const {
+  const RuleStats& rs = stats_[static_cast<std::size_t>(rule)];
+  if (rs.is_constant || !MatchesContext(rs, row)) return 0;
+  auto git = rs.groups.find(KeyFor(rs, row));
+  if (git == rs.groups.end()) return 0;
+  auto cit = git->second.counts.find(value);
+  return cit == git->second.counts.end() ? 0 : cit->second;
+}
+
+std::int64_t ViolationIndex::TotalViolations() const {
+  std::int64_t total = 0;
+  for (const RuleStats& rs : stats_) total += rs.violations;
+  return total;
+}
+
+std::vector<RowId> ViolationIndex::ViolationPartners(RowId row,
+                                                     RuleId rule) const {
+  const RuleStats& rs = stats_[static_cast<std::size_t>(rule)];
+  std::vector<RowId> out;
+  if (rs.is_constant || !MatchesContext(rs, row)) return out;
+  auto mit = rs.members.find(KeyFor(rs, row));
+  if (mit == rs.members.end()) return out;
+  const ValueId a = table_->id_at(row, rs.rhs_attr);
+  for (RowId other : mit->second) {
+    if (other != row && table_->id_at(other, rs.rhs_attr) != a) {
+      out.push_back(other);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<RowId> ViolationIndex::GroupMembers(RowId row, RuleId rule) const {
+  const RuleStats& rs = stats_[static_cast<std::size_t>(rule)];
+  std::vector<RowId> out;
+  if (rs.is_constant || !MatchesContext(rs, row)) return out;
+  auto mit = rs.members.find(KeyFor(rs, row));
+  if (mit == rs.members.end()) return out;
+  out = mit->second;
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace gdr

@@ -1,0 +1,212 @@
+#ifndef GDR_CFD_VIOLATION_INDEX_H_
+#define GDR_CFD_VIOLATION_INDEX_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "cfd/cfd.h"
+#include "data/table.h"
+#include "util/result.h"
+
+namespace gdr {
+
+/// Incrementally maintained violation statistics for a (Table, RuleSet)
+/// pair. This is the performance workhorse of the library: the consistency
+/// manager, the quality-loss metric (Eq. 3), and the VOI benefit estimator
+/// (Eq. 6) all reduce to O(1)/O(#affected-rules) queries against it.
+///
+/// Semantics implemented (paper Appendix A.1 and Definition 1):
+///  * constant CFD φ = (X → A, tp), tp[A] = a:
+///      t violates φ  iff  t[X] ≍ tp[X] and t[A] ≠ a;    vio(t, φ) = 1.
+///  * variable CFD (tp[A] = '-'):
+///      t violates φ with t' iff t[X] = t'[X] ≍ tp[X] and t[A] ≠ t'[A];
+///      vio(t, φ) = |{t' violating φ with t}|.
+///
+/// Derived aggregates maintained per rule:
+///  * vio(D, {φ})              — Definition 1 sum over tuples,
+///  * |D ⊨ φ|                  — number of tuples not violating φ,
+///  * |D(φ)|                   — tuples in φ's context (t[X] ≍ tp[X]),
+///    which supplies the default rule weight w_φ = |D(φ)|/|D| of Eq. 3.
+///
+/// Mutations go through ApplyCellChange, which updates the table cell and
+/// all affected per-rule structures; Apply followed by Apply of the old
+/// value restores the exact prior state, which is how VOI evaluates
+/// hypothetical databases D^rj without copying D.
+///
+/// The index holds a non-owning pointer to the table; the table must
+/// outlive the index, and all mutations while the index is alive must go
+/// through ApplyCellChange.
+class ViolationIndex {
+ public:
+  /// Builds the index with a full scan: O(#rows * #rules * arity).
+  ViolationIndex(Table* table, const RuleSet* rules);
+
+  ViolationIndex(const ViolationIndex&) = delete;
+  ViolationIndex& operator=(const ViolationIndex&) = delete;
+
+  const Table& table() const { return *table_; }
+  const RuleSet& rules() const { return *rules_; }
+
+  /// Sets table cell (row, attr) to `value` and updates every rule
+  /// mentioning `attr`. Returns the previous value id.
+  ValueId ApplyCellChange(RowId row, AttrId attr, ValueId value);
+
+  /// Monotonic counter bumped by every effective cell change; consumers
+  /// (e.g., the update generator's projection caches) use it to detect
+  /// staleness without subscribing to change events.
+  std::uint64_t version() const { return version_; }
+
+  /// String-value convenience overload (interns `value` first).
+  ValueId ApplyCellChange(RowId row, AttrId attr, std::string_view value);
+
+  /// vio(t, {φ}) of Definition 1.
+  std::int64_t TupleViolation(RowId row, RuleId rule) const;
+
+  /// True when t violates φ.
+  bool Violates(RowId row, RuleId rule) const {
+    return TupleViolation(row, rule) > 0;
+  }
+
+  /// True when t violates any rule of Σ.
+  bool IsDirty(RowId row) const;
+
+  /// Rules currently violated by t (the paper's t.vioRuleList), ordered by
+  /// RuleId.
+  std::vector<RuleId> ViolatedRules(RowId row) const;
+
+  /// All currently dirty rows, ascending.
+  std::vector<RowId> DirtyRows() const;
+
+  /// vio(D, {φ}) — total violations charged to rule φ.
+  std::int64_t RuleViolations(RuleId rule) const {
+    return stats_[static_cast<std::size_t>(rule)].violations;
+  }
+
+  /// vio(D, Σ) — Definition 1 aggregate over all rules.
+  std::int64_t TotalViolations() const;
+
+  /// |D ⊨ φ| — tuples in φ's context that satisfy φ (t[X] ≍ tp[X] and no
+  /// violation). The paper's §4.1 worked example fixes this reading: on
+  /// the 8-tuple instance it uses |D^rj ⊨ φ1| = 1, which is the satisfying
+  /// count *within* φ1's context, not among all tuples. The context
+  /// restriction is what keeps Eq. 6 comparable across rules whose
+  /// contexts differ by orders of magnitude.
+  std::int64_t SatisfyingCount(RuleId rule) const {
+    const RuleStats& rs = stats_[static_cast<std::size_t>(rule)];
+    return rs.context_count - rs.violating_tuples;
+  }
+
+  /// Number of tuples currently violating φ.
+  std::int64_t ViolatingCount(RuleId rule) const {
+    return stats_[static_cast<std::size_t>(rule)].violating_tuples;
+  }
+
+  /// |D(φ)| — tuples in the rule's context.
+  std::int64_t ContextCount(RuleId rule) const {
+    return stats_[static_cast<std::size_t>(rule)].context_count;
+  }
+
+  /// Interned pattern constant tp[A] of a constant rule; kInvalidValueId
+  /// for variable rules.
+  ValueId RhsConstant(RuleId rule) const {
+    return stats_[static_cast<std::size_t>(rule)].rhs_const;
+  }
+
+  /// For a variable rule: rows t' that currently violate `rule` together
+  /// with `row` (t'[X] = t[X] ≍ tp[X], t'[A] ≠ t[A]). Empty for constant
+  /// rules or non-violating rows. Cost: O(group size) scan over the rows
+  /// sharing t's LHS key.
+  std::vector<RowId> ViolationPartners(RowId row, RuleId rule) const;
+
+  /// Rows in the same variable-rule LHS group as `row` (including `row`
+  /// itself when it matches the context); empty for constant rules or rows
+  /// outside the context. Used by the update generator (scenario 2).
+  std::vector<RowId> GroupMembers(RowId row, RuleId rule) const;
+
+  /// Number of rules `row` currently violates.
+  std::int64_t ViolatedRuleCount(RowId row) const;
+
+  /// Number of rules `row` *would* violate if cell (row, attr) held
+  /// `value` — a read-only hypothetical (no mutation, no version bump).
+  /// Used as a consistency feature by the learning component.
+  std::int64_t HypotheticalViolatedRuleCount(RowId row, AttrId attr,
+                                             ValueId value) const;
+
+  /// Size of `row`'s LHS group under a variable rule (0 when the rule is
+  /// constant or the row is outside the context).
+  std::int64_t GroupTotal(RowId row, RuleId rule) const;
+
+  /// How many rows of `row`'s LHS group currently hold `value` in the
+  /// rule's RHS attribute (0 outside the context / for constant rules).
+  /// GroupTotal and GroupRhsValueCount supply the evidence-support factor
+  /// of the update evaluation function.
+  std::int64_t GroupRhsValueCount(RowId row, RuleId rule,
+                                  ValueId value) const;
+
+ private:
+  // LHS key of a variable rule: the row's values of X, in rule order.
+  using GroupKey = std::vector<ValueId>;
+
+  struct GroupKeyHash {
+    std::size_t operator()(const GroupKey& key) const;
+  };
+
+  // Per-LHS-group tallies for a variable rule. With total tuples n and
+  // per-RHS-value counts c_a: pair violations within the group are
+  // n^2 - sum(c_a^2) (each ordered pair with differing RHS), and the number
+  // of violating tuples is n when the group has >= 2 distinct RHS values,
+  // else 0.
+  struct Group {
+    std::int64_t total = 0;
+    std::int64_t sum_sq = 0;  // sum over a of c_a^2
+    std::unordered_map<ValueId, std::int64_t> counts;
+
+    std::int64_t PairViolations() const { return total * total - sum_sq; }
+    std::int64_t ViolatingTuples() const {
+      return counts.size() > 1 ? total : 0;
+    }
+  };
+
+  // Precomputed, table-bound form of one rule plus its live aggregates.
+  struct RuleStats {
+    bool is_constant = false;
+    std::vector<AttrId> lhs_attrs;
+    // Interned constants aligned with lhs_attrs; kInvalidValueId = wildcard.
+    std::vector<ValueId> lhs_consts;
+    AttrId rhs_attr = kInvalidAttrId;
+    ValueId rhs_const = kInvalidValueId;  // constant rules only
+
+    // Aggregates (all rules).
+    std::int64_t violations = 0;        // vio(D, {φ})
+    std::int64_t violating_tuples = 0;  // |D| - |D ⊨ φ|
+    std::int64_t context_count = 0;     // |D(φ)|
+
+    // Constant rules: per-row violation flag.
+    std::vector<std::uint8_t> row_violates;
+
+    // Variable rules: LHS-group tallies and per-group row membership. The
+    // membership lists make partner queries possible without a table scan.
+    std::unordered_map<GroupKey, Group, GroupKeyHash> groups;
+    std::unordered_map<GroupKey, std::vector<RowId>, GroupKeyHash> members;
+  };
+
+  // True when row matches the rule's LHS pattern (t[X] ≍ tp[X]).
+  bool MatchesContext(const RuleStats& rs, RowId row) const;
+  GroupKey KeyFor(const RuleStats& rs, RowId row) const;
+
+  // Removes/adds `row`'s contribution to `rs` using the row's *current*
+  // table values. ApplyCellChange removes with old values, mutates the
+  // table, then re-adds.
+  void RemoveRow(RuleStats& rs, RowId row);
+  void AddRow(RuleStats& rs, RowId row);
+
+  Table* table_;
+  const RuleSet* rules_;
+  std::vector<RuleStats> stats_;
+  std::uint64_t version_ = 0;
+};
+
+}  // namespace gdr
+
+#endif  // GDR_CFD_VIOLATION_INDEX_H_

@@ -1,0 +1,36 @@
+#ifndef GDR_CORE_FEEDBACK_PROVIDER_H_
+#define GDR_CORE_FEEDBACK_PROVIDER_H_
+
+#include <optional>
+
+#include "data/table.h"
+#include "repair/update.h"
+
+namespace gdr {
+
+/// The user of the GDR loop. Production deployments implement this with an
+/// actual human-in-the-loop UI; experiments implement it with a
+/// ground-truth oracle (src/sim/oracle.h); the interactive example
+/// implements it with a terminal prompt.
+class FeedbackProvider {
+ public:
+  virtual ~FeedbackProvider() = default;
+
+  /// Feedback for one suggested update, given the current database state.
+  virtual Feedback GetFeedback(const Table& table, const Update& update) = 0;
+
+  /// Optionally volunteers the correct value for the update's cell
+  /// (Section 4.2: "the user may also suggest a new value v' and GDR will
+  /// consider it as a confirm feedback for ⟨t, A, v', 1⟩"). Consulted only
+  /// after GetFeedback returned kReject. Default: no suggestion.
+  virtual std::optional<std::string> SuggestValue(const Table& table,
+                                                  const Update& update) {
+    (void)table;
+    (void)update;
+    return std::nullopt;
+  }
+};
+
+}  // namespace gdr
+
+#endif  // GDR_CORE_FEEDBACK_PROVIDER_H_

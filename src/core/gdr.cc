@@ -1,0 +1,385 @@
+#include "core/gdr.h"
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+
+#include "core/quality.h"
+
+namespace gdr {
+
+const char* StrategyName(Strategy strategy) {
+  switch (strategy) {
+    case Strategy::kGdr:
+      return "GDR";
+    case Strategy::kGdrSLearning:
+      return "GDR-S-Learning";
+    case Strategy::kGdrNoLearning:
+      return "GDR-NoLearning";
+    case Strategy::kActiveLearning:
+      return "Active-Learning";
+    case Strategy::kGreedy:
+      return "Greedy";
+    case Strategy::kRandomRanking:
+      return "Random";
+  }
+  return "unknown";
+}
+
+GdrEngine::GdrEngine(Table* table, const RuleSet* rules,
+                     FeedbackProvider* user, GdrOptions options)
+    : table_(table), rules_(rules), user_(user), options_(options) {
+  rng_.Seed(options_.seed);
+}
+
+Status GdrEngine::Initialize() {
+  if (initialized_) {
+    return Status::FailedPrecondition("engine already initialized");
+  }
+  index_ = std::make_unique<ViolationIndex>(table_, rules_);
+  pool_ = std::make_unique<UpdatePool>();
+  state_ = std::make_unique<RepairState>();
+  generator_ =
+      std::make_unique<UpdateGenerator>(index_.get(), table_, state_.get());
+  manager_ = std::make_unique<ConsistencyManager>(
+      index_.get(), pool_.get(), state_.get(), generator_.get());
+  LearnerBankOptions learner_options = options_.learner;
+  learner_options.seed = options_.seed ^ 0x9E3779B97F4A7C15ULL;
+  bank_ = std::make_unique<LearnerBank>(table_, index_.get(), learner_options);
+
+  weights_ = ContextRuleWeights(*index_);
+  voi_ = std::make_unique<VoiRanker>(index_.get(), &weights_);
+
+  stats_ = GdrStats{};
+  stats_.initial_dirty = manager_->Initialize();
+  initialized_ = true;
+  return Status::OK();
+}
+
+bool GdrEngine::PickGroup(const std::vector<UpdateGroup>& groups,
+                          const VoiRanker::Ranking& ranking,
+                          std::size_t* picked, double* gmax) const {
+  if (groups.empty()) return false;
+  *gmax = 0.0;
+  switch (options_.strategy) {
+    case Strategy::kGdr:
+    case Strategy::kGdrSLearning:
+    case Strategy::kGdrNoLearning: {
+      *picked = ranking.order.front();
+      *gmax = ranking.scores[ranking.order.front()];
+      return true;
+    }
+    case Strategy::kGreedy: {
+      std::size_t best = 0;
+      for (std::size_t i = 1; i < groups.size(); ++i) {
+        if (groups[i].size() > groups[best].size()) best = i;
+      }
+      *picked = best;
+      return true;
+    }
+    case Strategy::kRandomRanking: {
+      *picked = static_cast<std::size_t>(rng_.NextBounded(groups.size()));
+      return true;
+    }
+    case Strategy::kActiveLearning:
+      return false;  // handled by RunActiveLearningLoop
+  }
+  return false;
+}
+
+std::size_t GdrEngine::GroupQuota(const UpdateGroup& group, double score,
+                                  double gmax) const {
+  if (options_.strategy == Strategy::kGdrNoLearning ||
+      options_.strategy == Strategy::kGreedy ||
+      options_.strategy == Strategy::kRandomRanking) {
+    return group.size();  // every update is verified by the user
+  }
+  // d_i = E · (1 − g(c_i)/g_max): the more beneficial the group, the less
+  // user effort it needs (Section 5.2). Clamped to at least one n_s round
+  // so the learner keeps receiving labeled examples, and to the group size.
+  double d = 0.0;
+  if (gmax > 0.0) {
+    d = static_cast<double>(stats_.initial_dirty) *
+        (1.0 - std::max(0.0, score) / gmax);
+  }
+  const std::size_t floor_quota =
+      std::min<std::size_t>(static_cast<std::size_t>(options_.ns),
+                            group.size());
+  return std::clamp<std::size_t>(static_cast<std::size_t>(std::llround(d)),
+                                 floor_quota, group.size());
+}
+
+std::vector<Update> GdrEngine::LiveGroupUpdates(
+    const UpdateGroup& group) const {
+  std::vector<Update> live;
+  live.reserve(group.updates.size());
+  for (const Update& u : group.updates) {
+    const auto pooled = pool_->Get(u.cell());
+    if (pooled && *pooled == u) live.push_back(u);
+  }
+  return live;
+}
+
+void GdrEngine::OrderForSession(std::vector<Update>* updates) {
+  switch (options_.strategy) {
+    case Strategy::kGdr:
+    case Strategy::kActiveLearning: {
+      // Uncertainty ordering (Section 4.2): most uncertain first; before a
+      // model exists every update is maximally uncertain, so the repair
+      // score breaks ties (higher first), then row for determinism.
+      std::vector<std::pair<double, std::size_t>> keyed(updates->size());
+      for (std::size_t i = 0; i < updates->size(); ++i) {
+        const Update& u = (*updates)[i];
+        const double uncertainty =
+            bank_->IsTrained(u.attr) ? bank_->Uncertainty(u) : 1.0;
+        keyed[i] = {uncertainty, i};
+      }
+      std::stable_sort(keyed.begin(), keyed.end(),
+                       [updates](const auto& a, const auto& b) {
+                         if (a.first != b.first) return a.first > b.first;
+                         const Update& ua = (*updates)[a.second];
+                         const Update& ub = (*updates)[b.second];
+                         if (ua.score != ub.score) return ua.score > ub.score;
+                         return ua.row < ub.row;
+                       });
+      std::vector<Update> ordered(updates->size());
+      for (std::size_t i = 0; i < keyed.size(); ++i) {
+        ordered[i] = (*updates)[keyed[i].second];
+      }
+      // Mix exploration into the head: every other slot of the first n_s
+      // becomes a random representative pick, so the user's labels both
+      // teach the model (uncertain cases) and validate its displayed
+      // predictions on typical cases (the delegation gate needs an
+      // unbiased sample to be meaningful).
+      const std::size_t head =
+          std::min<std::size_t>(static_cast<std::size_t>(options_.ns),
+                                ordered.size());
+      for (std::size_t i = 1; i < head; i += 2) {
+        const std::size_t j =
+            i + static_cast<std::size_t>(rng_.NextBounded(ordered.size() - i));
+        std::swap(ordered[i], ordered[j]);
+      }
+      *updates = std::move(ordered);
+      break;
+    }
+    case Strategy::kGdrSLearning:
+      rng_.Shuffle(*updates);  // passive learning: random selection
+      break;
+    case Strategy::kGdrNoLearning:
+    case Strategy::kGreedy:
+    case Strategy::kRandomRanking:
+      break;  // user verifies everything; order is immaterial
+  }
+}
+
+Status GdrEngine::LabelWithUser(const Update& update,
+                                const ProgressCallback& callback) {
+  // The session displays the learner's prediction next to each update
+  // (Section 4.2); comparing it with the user's actual answer is how the
+  // engine measures whether the user could safely delegate to the model.
+  std::optional<Feedback> predicted;
+  if (UsesLearner() && bank_->IsTrained(update.attr)) {
+    predicted = bank_->PredictFeedback(update);
+  }
+  const Feedback feedback = user_->GetFeedback(*table_, update);
+  if (predicted) {
+    bank_->RecordPredictionOutcome(update.attr, *predicted,
+                                   *predicted == feedback);
+  }
+  ++stats_.user_feedback;
+  switch (feedback) {
+    case Feedback::kConfirm:
+      ++stats_.user_confirms;
+      break;
+    case Feedback::kReject:
+      ++stats_.user_rejects;
+      break;
+    case Feedback::kRetain:
+      ++stats_.user_retains;
+      break;
+  }
+  if (UsesLearner()) {
+    // Record the example before mutating the database: features must
+    // describe the tuple the user actually saw.
+    GDR_RETURN_NOT_OK(bank_->AddFeedback(update, feedback));
+  }
+  std::vector<AppliedChange> changes =
+      manager_->ApplyFeedback(update, feedback);
+
+  if (feedback == Feedback::kReject) {
+    // Section 4.2: a rejecting user may volunteer the correct value v',
+    // treated as confirming ⟨t, A, v', 1⟩.
+    if (auto suggested = user_->SuggestValue(*table_, update)) {
+      const ValueId v = table_->InternValue(update.attr, *suggested);
+      std::vector<AppliedChange> more =
+          manager_->ApplyUserValue(update.row, update.attr, v);
+      changes.insert(changes.end(), more.begin(), more.end());
+      ++stats_.user_suggested_values;
+    }
+  }
+  for (const AppliedChange& change : changes) {
+    if (change.forced) ++stats_.forced_repairs;
+  }
+  if (callback) callback(*this, stats_.user_feedback);
+  return Status::OK();
+}
+
+Status GdrEngine::ApplyLearnerDecision(const Update& update,
+                                       Feedback feedback) {
+  ++stats_.learner_decisions;
+  if (feedback == Feedback::kConfirm) ++stats_.learner_confirms;
+  std::vector<AppliedChange> changes =
+      manager_->ApplyFeedback(update, feedback);
+  for (const AppliedChange& change : changes) {
+    if (change.forced) ++stats_.forced_repairs;
+  }
+  return Status::OK();
+}
+
+Status GdrEngine::RunGroupSession(const UpdateGroup& group, std::size_t quota,
+                                  const ProgressCallback& callback) {
+  std::size_t labeled = 0;
+  while (labeled < quota && UserBudgetLeft()) {
+    std::vector<Update> live = LiveGroupUpdates(group);
+    if (live.empty()) break;
+    OrderForSession(&live);
+
+    const std::size_t batch =
+        std::min({static_cast<std::size_t>(options_.ns), quota - labeled,
+                  options_.feedback_budget - stats_.user_feedback,
+                  live.size()});
+    for (std::size_t i = 0; i < batch; ++i) {
+      // Re-validate: earlier labels in this batch may have retired or
+      // replaced later suggestions via the consistency manager.
+      const auto pooled = pool_->Get(live[i].cell());
+      if (!pooled || !(*pooled == live[i])) continue;
+      GDR_RETURN_NOT_OK(LabelWithUser(live[i], callback));
+      ++labeled;
+    }
+    if (batch == 0) break;
+    if (UsesLearner()) GDR_RETURN_NOT_OK(bank_->Retrain(group.attr));
+  }
+
+  // The user is "satisfied with the learner predictions": the learned
+  // model decides the group's remaining updates (Section 4.2) — but only
+  // predictions of classes whose recent accuracy earned the delegation.
+  if (UsesLearner() && bank_->IsTrained(group.attr)) {
+    for (const Update& u : LiveGroupUpdates(group)) {
+      const auto pooled = pool_->Get(u.cell());
+      if (!pooled || !(*pooled == u)) continue;
+      if (bank_->Uncertainty(u) > options_.learner_max_uncertainty) continue;
+      const Feedback predicted = bank_->PredictFeedback(u);
+      if (!bank_->IsReliable(u.attr, predicted,
+                             options_.learner_min_accuracy)) {
+        continue;
+      }
+      GDR_RETURN_NOT_OK(ApplyLearnerDecision(u, predicted));
+    }
+    if (callback) callback(*this, stats_.user_feedback);
+  }
+  return Status::OK();
+}
+
+Status GdrEngine::RunActiveLearningLoop(const ProgressCallback& callback) {
+  while (UserBudgetLeft() && !pool_->empty() && manager_->HasDirtyRows()) {
+    std::vector<Update> live = pool_->All();
+    OrderForSession(&live);
+    const std::size_t batch =
+        std::min({static_cast<std::size_t>(options_.ns),
+                  options_.feedback_budget - stats_.user_feedback,
+                  live.size()});
+    if (batch == 0) break;
+    std::size_t labeled = 0;
+    std::vector<AttrId> touched;
+    for (std::size_t i = 0; i < batch; ++i) {
+      const auto pooled = pool_->Get(live[i].cell());
+      if (!pooled || !(*pooled == live[i])) continue;
+      GDR_RETURN_NOT_OK(LabelWithUser(live[i], callback));
+      touched.push_back(live[i].attr);
+      ++labeled;
+    }
+    if (labeled == 0) break;
+    std::sort(touched.begin(), touched.end());
+    touched.erase(std::unique(touched.begin(), touched.end()),
+                  touched.end());
+    for (AttrId attr : touched) GDR_RETURN_NOT_OK(bank_->Retrain(attr));
+    ++stats_.outer_iterations;
+  }
+  return LearnerSweep(callback);
+}
+
+Status GdrEngine::LearnerSweep(const ProgressCallback& callback) {
+  for (int pass = 0; pass < options_.learner_sweep_passes; ++pass) {
+    std::size_t decided = 0;
+    for (const Update& u : pool_->All()) {
+      if (!bank_->IsTrained(u.attr)) continue;
+      const auto pooled = pool_->Get(u.cell());
+      if (!pooled || !(*pooled == u)) continue;
+      if (bank_->Uncertainty(u) > options_.learner_max_uncertainty) continue;
+      const Feedback predicted = bank_->PredictFeedback(u);
+      if (!bank_->IsReliable(u.attr, predicted,
+                             options_.learner_min_accuracy)) {
+        continue;
+      }
+      GDR_RETURN_NOT_OK(ApplyLearnerDecision(u, predicted));
+      ++decided;
+    }
+    if (decided == 0) break;
+  }
+  if (callback) callback(*this, stats_.user_feedback);
+  return Status::OK();
+}
+
+Status GdrEngine::Run(const ProgressCallback& callback) {
+  if (!initialized_) {
+    return Status::FailedPrecondition("call Initialize() first");
+  }
+  if (options_.strategy == Strategy::kActiveLearning) {
+    return RunActiveLearningLoop(callback);
+  }
+
+  const bool ranks_by_voi = options_.strategy == Strategy::kGdr ||
+                            options_.strategy == Strategy::kGdrSLearning ||
+                            options_.strategy == Strategy::kGdrNoLearning;
+
+  int iterations = 0;
+  while (iterations < options_.max_outer_iterations &&
+         manager_->HasDirtyRows() && !pool_->empty() && UserBudgetLeft()) {
+    ++iterations;
+    ++stats_.outer_iterations;
+
+    const std::vector<UpdateGroup> groups = GroupUpdates(*pool_);
+    if (groups.empty()) break;
+
+    VoiRanker::Ranking ranking;
+    if (ranks_by_voi) {
+      ranking = voi_->Rank(groups, [this](const Update& u) {
+        return bank_->ConfirmProbability(u);
+      });
+    }
+
+    std::size_t picked = 0;
+    double gmax = 0.0;
+    if (!PickGroup(groups, ranking, &picked, &gmax)) break;
+    const double score = ranks_by_voi ? ranking.scores[picked] : 0.0;
+
+    const std::size_t before_feedback = stats_.user_feedback;
+    const std::size_t before_decisions = stats_.learner_decisions;
+    GDR_RETURN_NOT_OK(RunGroupSession(
+        groups[picked], GroupQuota(groups[picked], score, gmax), callback));
+
+    if (stats_.user_feedback == before_feedback &&
+        stats_.learner_decisions == before_decisions) {
+      break;  // no progress possible (e.g., every suggestion went stale)
+    }
+  }
+
+  if (UsesLearner() && !UserBudgetLeft()) {
+    // The user budget is exhausted; the learned models decide the rest of
+    // the pool (Appendix B.1's protocol).
+    GDR_RETURN_NOT_OK(LearnerSweep(callback));
+  }
+  return Status::OK();
+}
+
+}  // namespace gdr

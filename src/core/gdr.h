@@ -1,0 +1,199 @@
+#ifndef GDR_CORE_GDR_H_
+#define GDR_CORE_GDR_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "cfd/violation_index.h"
+#include "core/feedback_provider.h"
+#include "core/grouping.h"
+#include "core/learner_bank.h"
+#include "core/voi.h"
+#include "data/table.h"
+#include "repair/consistency_manager.h"
+#include "repair/repair_state.h"
+#include "repair/update_generator.h"
+#include "repair/update_pool.h"
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace gdr {
+
+/// The interaction policies evaluated in Section 5.
+enum class Strategy {
+  /// Full GDR: VOI group ranking + active-learning (uncertainty) ordering
+  /// within the group + learner take-over of the group's remaining updates.
+  kGdr,
+  /// GDR-S-Learning: VOI ranking, but the user labels a *random* selection
+  /// within the group (passive learning); the learner still takes over.
+  kGdrSLearning,
+  /// GDR-NoLearning: VOI ranking alone; the user verifies every update.
+  kGdrNoLearning,
+  /// Active-Learning: no grouping/VOI; global uncertainty ordering with
+  /// learner take-over at budget exhaustion.
+  kActiveLearning,
+  /// Greedy: groups ranked by size; the user verifies every update.
+  kGreedy,
+  /// Random: uniformly random group order; the user verifies everything.
+  kRandomRanking,
+};
+
+const char* StrategyName(Strategy strategy);
+
+struct GdrOptions {
+  Strategy strategy = Strategy::kGdr;
+  /// Maximum number of updates the user will verify (the F of Appendix
+  /// B.1); unlimited by default.
+  std::size_t feedback_budget = static_cast<std::size_t>(-1);
+  /// Labels per interactive round n_s (Section 4.2): the user inspects the
+  /// n_s top-ordered updates, then the model retrains and reorders.
+  int ns = 5;
+  std::uint64_t seed = 42;
+  LearnerBankOptions learner;
+  /// Safety valve on outer iterations.
+  int max_outer_iterations = 1000000;
+  /// Passes of the final learner sweep applied after the user budget is
+  /// exhausted (each confirm/reject can surface new suggestions).
+  int learner_sweep_passes = 3;
+  /// A learner decision is applied only when the committee's disagreement
+  /// entropy is at or below this threshold; more uncertain updates stay in
+  /// the pool for the user. This is the "user is satisfied with the
+  /// learner predictions" guard of Section 4.2 — the user would not
+  /// delegate decisions the committee visibly disagrees on.
+  double learner_max_uncertainty = 0.35;
+  /// Decisions are delegated to an attribute's model only while its
+  /// rolling prediction accuracy on the user's recent labels stays at or
+  /// above this threshold (the interactive session's "user is satisfied
+  /// with the learner predictions" condition, measured rather than
+  /// assumed).
+  double learner_min_accuracy = 0.8;
+};
+
+struct GdrStats {
+  std::size_t initial_dirty = 0;  // E of Section 5.2
+  std::size_t user_feedback = 0;  // total updates verified by the user
+  std::size_t user_confirms = 0;
+  std::size_t user_rejects = 0;
+  std::size_t user_retains = 0;
+  std::size_t user_suggested_values = 0;
+  std::size_t learner_decisions = 0;
+  std::size_t learner_confirms = 0;
+  std::size_t forced_repairs = 0;  // consistency-manager cascades
+  std::size_t outer_iterations = 0;
+};
+
+/// The GDR framework of Figure 2: orchestrates the consistency manager,
+/// the VOI ranking, and the learning component around a FeedbackProvider
+/// (Procedure 1).
+///
+/// Typical use:
+///   GdrEngine engine(&table, &rules, &user, options);
+///   GDR_RETURN_NOT_OK(engine.Initialize());
+///   GDR_RETURN_NOT_OK(engine.Run(callback));
+///
+/// The table is repaired in place. The engine never reads ground truth;
+/// experiment metrics are computed by the caller against engine.index().
+class GdrEngine {
+ public:
+  /// All pointers are non-owning and must outlive the engine. `table` is
+  /// the dirty instance to repair.
+  GdrEngine(Table* table, const RuleSet* rules, FeedbackProvider* user,
+            GdrOptions options = {});
+
+  GdrEngine(const GdrEngine&) = delete;
+  GdrEngine& operator=(const GdrEngine&) = delete;
+
+  /// Step 1–2 of Procedure 1: detects dirty tuples, seeds the candidate
+  /// pool, fixes the rule weights w_i = |D(φ_i)|/|D| on the initial
+  /// instance.
+  Status Initialize();
+
+  /// Invoked after every user label and after every learner batch, with
+  /// the engine in a consistent state; `user_feedback` is the labels spent
+  /// so far. Used by harnesses to record quality curves.
+  using ProgressCallback =
+      std::function<void(const GdrEngine& engine, std::size_t user_feedback)>;
+
+  /// Steps 3–10 of Procedure 1: the interactive loop. Terminates when the
+  /// database is clean, the candidate pool is exhausted, the feedback
+  /// budget is spent (after the final learner sweep, for learning
+  /// strategies), or an iteration makes no progress.
+  Status Run(const ProgressCallback& callback = nullptr);
+
+  const ViolationIndex& index() const { return *index_; }
+  const UpdatePool& pool() const { return *pool_; }
+  const GdrStats& stats() const { return stats_; }
+  const std::vector<double>& rule_weights() const { return weights_; }
+  const LearnerBank& learner() const { return *bank_; }
+  const ConsistencyManager& consistency() const { return *manager_; }
+
+ private:
+  bool UsesLearner() const {
+    return options_.strategy == Strategy::kGdr ||
+           options_.strategy == Strategy::kGdrSLearning ||
+           options_.strategy == Strategy::kActiveLearning;
+  }
+  bool UserBudgetLeft() const {
+    return stats_.user_feedback < options_.feedback_budget;
+  }
+
+  // Picks the group to present per strategy; returns false if none.
+  bool PickGroup(const std::vector<UpdateGroup>& groups,
+                 const VoiRanker::Ranking& ranking, std::size_t* picked,
+                 double* gmax) const;
+
+  // Per-group user label quota d_i = E·(1 − g(c_i)/g_max), clamped to
+  // [min(ns, |c|), |c|] (see DESIGN.md on the clamp).
+  std::size_t GroupQuota(const UpdateGroup& group, double score,
+                         double gmax) const;
+
+  // One unit of user feedback on `update`; applies it, trains the bank
+  // (learning strategies), handles volunteered values.
+  Status LabelWithUser(const Update& update,
+                       const ProgressCallback& callback);
+
+  // Interactive session on one group (Section 4.2). `quota` bounds user
+  // labels; afterwards the learner decides the group's remaining updates
+  // (learning strategies with a trained model).
+  Status RunGroupSession(const UpdateGroup& group, std::size_t quota,
+                         const ProgressCallback& callback);
+
+  // The ungrouped Active-Learning baseline loop.
+  Status RunActiveLearningLoop(const ProgressCallback& callback);
+
+  // Applies learner predictions to every pooled update with a trained
+  // model (budget-exhaustion sweep).
+  Status LearnerSweep(const ProgressCallback& callback);
+
+  // Applies one learner decision (no training-set growth).
+  Status ApplyLearnerDecision(const Update& update, Feedback feedback);
+
+  // Orders `updates` for user inspection per strategy (in place).
+  void OrderForSession(std::vector<Update>* updates);
+
+  // Validated snapshot: updates of `group` still present in the pool.
+  std::vector<Update> LiveGroupUpdates(const UpdateGroup& group) const;
+
+  Table* table_;
+  const RuleSet* rules_;
+  FeedbackProvider* user_;
+  GdrOptions options_;
+
+  std::unique_ptr<ViolationIndex> index_;
+  std::unique_ptr<UpdatePool> pool_;
+  std::unique_ptr<RepairState> state_;
+  std::unique_ptr<UpdateGenerator> generator_;
+  std::unique_ptr<ConsistencyManager> manager_;
+  std::unique_ptr<LearnerBank> bank_;
+  std::unique_ptr<VoiRanker> voi_;
+  std::vector<double> weights_;
+  mutable Rng rng_{0};
+  GdrStats stats_;
+  bool initialized_ = false;
+};
+
+}  // namespace gdr
+
+#endif  // GDR_CORE_GDR_H_

@@ -1,0 +1,34 @@
+#include "core/grouping.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+namespace gdr {
+
+std::string UpdateGroup::ToString(const Table& table) const {
+  std::ostringstream out;
+  out << table.schema().attr_name(attr) << " := '"
+      << table.dict(attr).ToString(value) << "' (" << updates.size()
+      << " updates)";
+  return out.str();
+}
+
+std::vector<UpdateGroup> GroupUpdates(const UpdatePool& pool) {
+  std::map<std::pair<AttrId, ValueId>, UpdateGroup> grouped;
+  for (const Update& update : pool.All()) {
+    UpdateGroup& group = grouped[{update.attr, update.value}];
+    group.attr = update.attr;
+    group.value = update.value;
+    group.updates.push_back(update);
+  }
+  std::vector<UpdateGroup> out;
+  out.reserve(grouped.size());
+  for (auto& [key, group] : grouped) {
+    // pool.All() is (row, attr)-ordered, so updates are already row-sorted.
+    out.push_back(std::move(group));
+  }
+  return out;
+}
+
+}  // namespace gdr

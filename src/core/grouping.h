@@ -1,0 +1,35 @@
+#ifndef GDR_CORE_GROUPING_H_
+#define GDR_CORE_GROUPING_H_
+
+#include <string>
+#include <vector>
+
+#include "repair/update.h"
+#include "repair/update_pool.h"
+
+namespace gdr {
+
+/// A group of candidate updates sharing contextual information — the
+/// paper's grouping function: "tuples with the same update value in a given
+/// attribute are grouped together" (Section 3). Presenting such groups
+/// makes batch inspection easy for the user and gives the learner
+/// correlated training examples.
+struct UpdateGroup {
+  AttrId attr = kInvalidAttrId;
+  ValueId value = kInvalidValueId;
+  std::vector<Update> updates;
+
+  std::size_t size() const { return updates.size(); }
+
+  /// "City := 'Michigan City' (3 updates)".
+  std::string ToString(const Table& table) const;
+};
+
+/// Partitions the pool into (attribute, suggested value) groups.
+/// Deterministic: groups ordered by (attr, value), updates within a group
+/// by (row).
+std::vector<UpdateGroup> GroupUpdates(const UpdatePool& pool);
+
+}  // namespace gdr
+
+#endif  // GDR_CORE_GROUPING_H_

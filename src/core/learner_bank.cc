@@ -1,0 +1,155 @@
+#include "core/learner_bank.h"
+
+#include <cmath>
+
+#include "util/string_similarity.h"
+
+namespace gdr {
+
+namespace {
+
+FeatureSchema SchemaForAttr(const Table& table) {
+  std::vector<FeatureDesc> features;
+  features.reserve(table.num_attrs() + 7);
+  for (std::size_t a = 0; a < table.num_attrs(); ++a) {
+    features.push_back(
+        {table.schema().attr_name(static_cast<AttrId>(a)),
+         FeatureType::kCategorical});
+  }
+  features.push_back({"suggested_value", FeatureType::kCategorical});
+  features.push_back({"similarity", FeatureType::kNumeric});
+  features.push_back({"repair_score", FeatureType::kNumeric});
+  features.push_back({"log_support_current", FeatureType::kNumeric});
+  features.push_back({"log_support_suggested", FeatureType::kNumeric});
+  features.push_back({"violations_now", FeatureType::kNumeric});
+  features.push_back({"violations_after", FeatureType::kNumeric});
+  return FeatureSchema(std::move(features));
+}
+
+}  // namespace
+
+LearnerBank::LearnerBank(const Table* table, const ViolationIndex* index,
+                         LearnerBankOptions options)
+    : table_(table), index_(index), options_(options) {
+  const std::size_t n = table_->num_attrs();
+  sets_.reserve(n);
+  models_.reserve(n);
+  for (std::size_t a = 0; a < n; ++a) {
+    sets_.emplace_back(SchemaForAttr(*table_), kNumFeedbackClasses);
+    RandomForestOptions forest_options = options_.forest;
+    // Distinct deterministic stream per attribute model.
+    forest_options.seed = options_.seed * 1000003ULL + a;
+    models_.emplace_back(forest_options);
+  }
+  trained_.assign(n, false);
+  stale_.assign(n, false);
+  outcome_window_.assign(n * kNumFeedbackClasses, {});
+  outcome_next_.assign(n * kNumFeedbackClasses, 0);
+  outcome_count_.assign(n * kNumFeedbackClasses, 0);
+}
+
+namespace {
+
+std::size_t OutcomeSlot(AttrId attr, Feedback predicted) {
+  return static_cast<std::size_t>(attr) * kNumFeedbackClasses +
+         static_cast<std::size_t>(predicted);
+}
+
+}  // namespace
+
+void LearnerBank::RecordPredictionOutcome(AttrId attr, Feedback predicted,
+                                          bool correct) {
+  const std::size_t slot = OutcomeSlot(attr, predicted);
+  std::vector<bool>& window = outcome_window_[slot];
+  if (window.size() < kAccuracyWindow) {
+    window.push_back(correct);
+  } else {
+    window[outcome_next_[slot] % kAccuracyWindow] = correct;
+  }
+  ++outcome_next_[slot];
+  ++outcome_count_[slot];
+}
+
+double LearnerBank::RollingAccuracy(AttrId attr, Feedback predicted) const {
+  const std::vector<bool>& window = outcome_window_[OutcomeSlot(attr, predicted)];
+  if (window.empty()) return 1.0;
+  std::size_t correct = 0;
+  for (bool outcome : window) correct += outcome ? 1 : 0;
+  return static_cast<double>(correct) / static_cast<double>(window.size());
+}
+
+bool LearnerBank::IsReliable(AttrId attr, Feedback predicted,
+                             double min_accuracy,
+                             std::size_t min_samples) const {
+  const std::size_t slot = OutcomeSlot(attr, predicted);
+  return trained_[static_cast<std::size_t>(attr)] &&
+         outcome_count_[slot] >= min_samples &&
+         RollingAccuracy(attr, predicted) >= min_accuracy;
+}
+
+std::vector<double> LearnerBank::Encode(const Update& update) const {
+  std::vector<double> features;
+  features.reserve(table_->num_attrs() + 7);
+  for (std::size_t a = 0; a < table_->num_attrs(); ++a) {
+    features.push_back(static_cast<double>(
+        table_->id_at(update.row, static_cast<AttrId>(a))));
+  }
+  const ValueId current = table_->id_at(update.row, update.attr);
+  features.push_back(static_cast<double>(update.value));
+  features.push_back(NormalizedEditSimilarity(
+      table_->at(update.row, update.attr),
+      table_->dict(update.attr).ToString(update.value)));
+  features.push_back(update.score);
+  features.push_back(std::log1p(
+      static_cast<double>(table_->ValueCount(update.attr, current))));
+  features.push_back(std::log1p(
+      static_cast<double>(table_->ValueCount(update.attr, update.value))));
+  features.push_back(
+      static_cast<double>(index_->ViolatedRuleCount(update.row)));
+  features.push_back(static_cast<double>(index_->HypotheticalViolatedRuleCount(
+      update.row, update.attr, update.value)));
+  return features;
+}
+
+Status LearnerBank::AddFeedback(const Update& update, Feedback feedback) {
+  TrainingSet& set = sets_[static_cast<std::size_t>(update.attr)];
+  GDR_RETURN_NOT_OK(
+      set.Add(Example{Encode(update), static_cast<int>(feedback)}));
+  stale_[static_cast<std::size_t>(update.attr)] = true;
+  return Status::OK();
+}
+
+Status LearnerBank::Retrain(AttrId attr) {
+  const std::size_t a = static_cast<std::size_t>(attr);
+  if (!stale_[a]) return Status::OK();
+  if (sets_[a].size() < options_.min_training_examples) return Status::OK();
+  GDR_RETURN_NOT_OK(models_[a].Train(sets_[a]));
+  trained_[a] = true;
+  stale_[a] = false;
+  return Status::OK();
+}
+
+bool LearnerBank::IsTrained(AttrId attr) const {
+  return trained_[static_cast<std::size_t>(attr)];
+}
+
+Feedback LearnerBank::PredictFeedback(const Update& update) const {
+  const int label =
+      models_[static_cast<std::size_t>(update.attr)].Predict(Encode(update));
+  return static_cast<Feedback>(label);
+}
+
+double LearnerBank::Uncertainty(const Update& update) const {
+  return models_[static_cast<std::size_t>(update.attr)].Uncertainty(
+      Encode(update));
+}
+
+double LearnerBank::ConfirmProbability(const Update& update) const {
+  const std::size_t a = static_cast<std::size_t>(update.attr);
+  if (!trained_[a]) return update.score;
+  const std::vector<double> fractions =
+      models_[a].VoteFractions(Encode(update));
+  return fractions[static_cast<std::size_t>(Feedback::kConfirm)];
+}
+
+}  // namespace gdr

@@ -1,0 +1,122 @@
+#ifndef GDR_CORE_LEARNER_BANK_H_
+#define GDR_CORE_LEARNER_BANK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "cfd/violation_index.h"
+#include "data/table.h"
+#include "ml/example.h"
+#include "ml/random_forest.h"
+#include "repair/update.h"
+#include "util/result.h"
+
+namespace gdr {
+
+struct LearnerBankOptions {
+  /// Forest configuration shared by all per-attribute models (the paper
+  /// uses WEKA random forests with k = 10 and defaults).
+  RandomForestOptions forest;
+  /// A model only starts predicting after this many training examples;
+  /// below the threshold the bank reports "untrained" and the engine falls
+  /// back to the repair score s_j.
+  std::size_t min_training_examples = 25;
+  std::uint64_t seed = 17;
+};
+
+/// The GDR learning component (Section 4.2): one classification model
+/// M_{A_i} per attribute, each predicting the user's feedback
+/// {confirm, reject, retain} for suggested updates of that attribute.
+///
+/// Training examples follow the paper's data representation
+///   ⟨t[A_1], …, t[A_n], v, R(t[A_i], v), F⟩:
+/// all current attribute values of the tuple (categorical), the suggested
+/// value (categorical), and the relationship function R between t[A_i] and
+/// v. The paper leaves R open ("we use a string similarity function");
+/// this implementation supplies a small family of relationship features:
+///   * normalized edit similarity sim(t[A_i], v),
+///   * the update's repair score s,
+///   * active-instance supports of the current and suggested values
+///     (log-scaled) — "is the current value a rare outlier?",
+///   * the tuple's violated-rule count now and under the hypothetical
+///     update — "does the suggestion actually mend the tuple?".
+/// The consistency features are what let a model generalize across data
+/// sources instead of memorizing source ids. Categorical feature values
+/// are the table's interned value ids, which keeps example construction
+/// allocation-free on the hot path.
+class LearnerBank {
+ public:
+  /// `table` and `index` are non-owning and must outlive the bank;
+  /// features are encoded against the table's dictionaries and the index's
+  /// live violation state.
+  LearnerBank(const Table* table, const ViolationIndex* index,
+              LearnerBankOptions options = {});
+
+  /// Records user feedback on `update` as a training example for the
+  /// attribute's model (does not retrain; call Retrain).
+  Status AddFeedback(const Update& update, Feedback feedback);
+
+  /// Retrains the attribute's forest if it has reached the example
+  /// threshold. Cheap no-op otherwise.
+  Status Retrain(AttrId attr);
+
+  /// True once the attribute's model is trained and predicting.
+  bool IsTrained(AttrId attr) const;
+
+  /// Committee-majority feedback prediction. Requires IsTrained(attr).
+  Feedback PredictFeedback(const Update& update) const;
+
+  /// Committee disagreement entropy in [0,1] (the active-learning
+  /// ordering score). Requires IsTrained(attr).
+  double Uncertainty(const Update& update) const;
+
+  /// p̃_j for VOI: the committee's confirm-vote fraction when trained,
+  /// otherwise the update's repair score s_j (Section 4.1, "User Model").
+  double ConfirmProbability(const Update& update) const;
+
+  /// Feature encoding for one suggested update (exposed for tests).
+  std::vector<double> Encode(const Update& update) const;
+
+  std::size_t TrainingExamples(AttrId attr) const {
+    return sets_[static_cast<std::size_t>(attr)].size();
+  }
+
+  /// Records whether the model's prediction `predicted` matched the user's
+  /// actual feedback for one labeled update (Section 4.2: the user
+  /// inspects the learner's displayed predictions while labeling; this is
+  /// how "the user decides whether the classifiers are accurate").
+  /// Outcomes are tracked per predicted class: a model can be excellent at
+  /// recognizing retains yet useless at confirms, and delegating must
+  /// distinguish the two.
+  void RecordPredictionOutcome(AttrId attr, Feedback predicted, bool correct);
+
+  /// Rolling accuracy of this attribute's recent `predicted`-class
+  /// predictions (1.0 when nothing recorded yet).
+  double RollingAccuracy(AttrId attr, Feedback predicted) const;
+
+  /// True when the model is trained and its recent predictions *of this
+  /// class* have been accurate enough for the user to delegate them:
+  /// ≥ min_samples observed outcomes with rolling accuracy ≥ min_accuracy.
+  bool IsReliable(AttrId attr, Feedback predicted, double min_accuracy,
+                  std::size_t min_samples = 8) const;
+
+ private:
+  static constexpr std::size_t kAccuracyWindow = 20;
+
+  const Table* table_;
+  const ViolationIndex* index_;
+  LearnerBankOptions options_;
+  std::vector<TrainingSet> sets_;      // one per attribute
+  std::vector<RandomForest> models_;   // one per attribute
+  std::vector<bool> trained_;
+  std::vector<bool> stale_;            // feedback added since last train
+  // Ring buffers of recent prediction outcomes, one per (attribute,
+  // predicted class), indexed attr * kNumFeedbackClasses + class.
+  std::vector<std::vector<bool>> outcome_window_;
+  std::vector<std::size_t> outcome_next_;   // ring cursors
+  std::vector<std::size_t> outcome_count_;  // total outcomes observed
+};
+
+}  // namespace gdr
+
+#endif  // GDR_CORE_LEARNER_BANK_H_

@@ -1,0 +1,77 @@
+#include "core/quality.h"
+
+namespace gdr {
+
+std::vector<double> ContextRuleWeights(const ViolationIndex& index) {
+  const double n = static_cast<double>(index.table().num_rows());
+  std::vector<double> weights(index.rules().size());
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    weights[i] = n == 0 ? 0.0
+                        : static_cast<double>(index.ContextCount(
+                              static_cast<RuleId>(i))) /
+                              n;
+  }
+  return weights;
+}
+
+QualityEvaluator::QualityEvaluator(Table ground_truth, const RuleSet* rules,
+                                   std::vector<double> weights)
+    : weights_(std::move(weights)) {
+  // Index the ground truth once to read off |D_opt ⊨ φ| per rule. The
+  // table copy is local; the index dies with this scope.
+  ViolationIndex opt_index(&ground_truth, rules);
+  opt_satisfying_.resize(rules->size());
+  for (std::size_t i = 0; i < rules->size(); ++i) {
+    opt_satisfying_[i] = opt_index.SatisfyingCount(static_cast<RuleId>(i));
+  }
+}
+
+double QualityEvaluator::Loss(const ViolationIndex& index) const {
+  double loss = 0.0;
+  for (std::size_t i = 0; i < weights_.size(); ++i) {
+    const RuleId rule = static_cast<RuleId>(i);
+    if (opt_satisfying_[i] <= 0) continue;  // rule vacuous in D_opt
+    const double ql = static_cast<double>(opt_satisfying_[i] -
+                                          index.SatisfyingCount(rule)) /
+                      static_cast<double>(opt_satisfying_[i]);
+    loss += weights_[i] * ql;
+  }
+  return loss;
+}
+
+double QualityEvaluator::ImprovementPct(const ViolationIndex& index,
+                                        double initial_loss) const {
+  if (initial_loss <= 0.0) return 100.0;
+  return 100.0 * (initial_loss - Loss(index)) / initial_loss;
+}
+
+Result<RepairAccuracy> ComputeRepairAccuracy(const Table& initial,
+                                             const Table& current,
+                                             const Table& ground_truth) {
+  if (!(initial.schema() == current.schema()) ||
+      !(initial.schema() == ground_truth.schema())) {
+    return Status::InvalidArgument("schemas differ");
+  }
+  if (initial.num_rows() != current.num_rows() ||
+      initial.num_rows() != ground_truth.num_rows()) {
+    return Status::InvalidArgument("row counts differ");
+  }
+  RepairAccuracy acc;
+  for (std::size_t r = 0; r < initial.num_rows(); ++r) {
+    for (std::size_t a = 0; a < initial.num_attrs(); ++a) {
+      const RowId row = static_cast<RowId>(r);
+      const AttrId attr = static_cast<AttrId>(a);
+      const std::string& before = initial.at(row, attr);
+      const std::string& now = current.at(row, attr);
+      const std::string& truth = ground_truth.at(row, attr);
+      if (before != truth) ++acc.initially_incorrect_cells;
+      if (now != before) {
+        ++acc.updated_cells;
+        if (now == truth) ++acc.correctly_updated_cells;
+      }
+    }
+  }
+  return acc;
+}
+
+}  // namespace gdr

@@ -1,0 +1,87 @@
+#ifndef GDR_CORE_QUALITY_H_
+#define GDR_CORE_QUALITY_H_
+
+#include <vector>
+
+#include "cfd/violation_index.h"
+#include "data/table.h"
+#include "util/result.h"
+
+namespace gdr {
+
+/// Default rule weights of the paper's experiments: w_i = |D(φ_i)| / |D|,
+/// computed against the *current* contents of `index` (GDR computes them
+/// once on the initial dirty instance and keeps them fixed). The weights
+/// express how much of the data falls in each rule's context.
+std::vector<double> ContextRuleWeights(const ViolationIndex& index);
+
+/// Evaluation-only data-quality metric (Eq. 2/3), measured against the
+/// ground-truth clean database D_opt that experiments have access to:
+///
+///   ql(D, φ) = (|D_opt ⊨ φ| − |D ⊨ φ|) / |D_opt ⊨ φ|
+///   L(D)     = Σ_i w_i · ql(D, φ_i)
+///
+/// The GDR engine itself never sees D_opt — it only uses the VOI
+/// *estimates* of this quantity (src/core/voi.h). This evaluator is the
+/// measuring stick for the experiment harnesses (Figures 3–5).
+class QualityEvaluator {
+ public:
+  /// Builds |D_opt ⊨ φ| per rule by indexing the ground truth. `weights`
+  /// must have one entry per rule (use ContextRuleWeights of the dirty
+  /// instance for the paper's setting).
+  QualityEvaluator(Table ground_truth, const RuleSet* rules,
+                   std::vector<double> weights);
+
+  /// L(D) for the database behind `index` (Eq. 3).
+  double Loss(const ViolationIndex& index) const;
+
+  /// Percentage of the initial loss recovered so far:
+  ///   100 · (L(D_0) − L(D)) / L(D_0)
+  /// where L(D_0) = `initial_loss` (capture Loss() before repairing).
+  /// The y-axis of Figures 3 and 4.
+  double ImprovementPct(const ViolationIndex& index,
+                        double initial_loss) const;
+
+  const std::vector<double>& weights() const { return weights_; }
+  const std::vector<std::int64_t>& opt_satisfying() const {
+    return opt_satisfying_;
+  }
+
+ private:
+  std::vector<double> weights_;
+  std::vector<std::int64_t> opt_satisfying_;  // |D_opt ⊨ φ| per rule
+};
+
+/// Precision/recall of applied repairs against the ground truth (the
+/// Appendix B.1 metric, Figure 5):
+///   precision = correctly updated cells / updated cells
+///   recall    = correctly updated cells / initially incorrect cells
+struct RepairAccuracy {
+  std::size_t updated_cells = 0;
+  std::size_t correctly_updated_cells = 0;
+  std::size_t initially_incorrect_cells = 0;
+
+  double Precision() const {
+    return updated_cells == 0
+               ? 1.0
+               : static_cast<double>(correctly_updated_cells) /
+                     static_cast<double>(updated_cells);
+  }
+  double Recall() const {
+    return initially_incorrect_cells == 0
+               ? 1.0
+               : static_cast<double>(correctly_updated_cells) /
+                     static_cast<double>(initially_incorrect_cells);
+  }
+};
+
+/// Computes repair accuracy by three-way cell comparison of the initial
+/// dirty instance, the current instance, and the ground truth (all same
+/// schema and row count).
+Result<RepairAccuracy> ComputeRepairAccuracy(const Table& initial,
+                                             const Table& current,
+                                             const Table& ground_truth);
+
+}  // namespace gdr
+
+#endif  // GDR_CORE_QUALITY_H_

@@ -1,0 +1,66 @@
+#include "core/voi.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace gdr {
+
+VoiRanker::VoiRanker(ViolationIndex* index, const std::vector<double>* weights)
+    : index_(index), weights_(weights) {}
+
+double VoiRanker::UpdateBenefit(const Update& update) const {
+  const std::vector<RuleId>& affected =
+      index_->rules().RulesMentioning(update.attr);
+  if (affected.empty()) return 0.0;
+
+  // Record vio(D, {φ}) before the hypothetical application.
+  std::vector<std::int64_t> vio_before(affected.size());
+  for (std::size_t i = 0; i < affected.size(); ++i) {
+    vio_before[i] = index_->RuleViolations(affected[i]);
+  }
+
+  // D^rj: apply, measure, revert. Apply+revert restores exact state.
+  const ValueId old_value =
+      index_->ApplyCellChange(update.row, update.attr, update.value);
+  double benefit = 0.0;
+  for (std::size_t i = 0; i < affected.size(); ++i) {
+    const RuleId rule = affected[i];
+    const std::int64_t satisfying = index_->SatisfyingCount(rule);
+    if (satisfying <= 0) continue;  // no denominator: rule fully violated
+    const double delta =
+        static_cast<double>(vio_before[i] - index_->RuleViolations(rule));
+    benefit += (*weights_)[static_cast<std::size_t>(rule)] * delta /
+               static_cast<double>(satisfying);
+  }
+  index_->ApplyCellChange(update.row, update.attr, old_value);
+  return benefit;
+}
+
+double VoiRanker::ScoreGroup(
+    const UpdateGroup& group,
+    const ConfirmProbabilityFn& confirm_probability) const {
+  double score = 0.0;
+  for (const Update& update : group.updates) {
+    score += confirm_probability(update) * UpdateBenefit(update);
+  }
+  return score;
+}
+
+VoiRanker::Ranking VoiRanker::Rank(
+    const std::vector<UpdateGroup>& groups,
+    const ConfirmProbabilityFn& confirm_probability) const {
+  Ranking ranking;
+  ranking.scores.resize(groups.size());
+  for (std::size_t i = 0; i < groups.size(); ++i) {
+    ranking.scores[i] = ScoreGroup(groups[i], confirm_probability);
+  }
+  ranking.order.resize(groups.size());
+  std::iota(ranking.order.begin(), ranking.order.end(), 0);
+  std::stable_sort(ranking.order.begin(), ranking.order.end(),
+                   [&ranking](std::size_t a, std::size_t b) {
+                     return ranking.scores[a] > ranking.scores[b];
+                   });
+  return ranking;
+}
+
+}  // namespace gdr

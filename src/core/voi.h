@@ -1,0 +1,60 @@
+#ifndef GDR_CORE_VOI_H_
+#define GDR_CORE_VOI_H_
+
+#include <functional>
+#include <vector>
+
+#include "cfd/violation_index.h"
+#include "core/grouping.h"
+
+namespace gdr {
+
+/// Supplies the learned confirm probability p̃_j for an update: the
+/// prediction probability of the user model once trained, falling back to
+/// the repair score s_j before any feedback exists (Section 4.1, "User
+/// Model"). Wired to LearnerBank::ConfirmProbability in the engine.
+using ConfirmProbabilityFn = std::function<double(const Update&)>;
+
+/// The VOI-based group ranking of Section 4.1. Computes the estimated
+/// update benefit of acquiring feedback on a group c (Eq. 6):
+///
+///   E[g(c)] = Σ_φ w_φ  Σ_{r_j ∈ c}  p̃_j ·
+///             (vio(D, {φ}) − vio(D^{r_j}, {φ})) / |D^{r_j} ⊨ φ|
+///
+/// D^{r_j} (the hypothetical database with r_j applied) is evaluated by
+/// applying the cell change to the shared violation index, reading the
+/// affected rules' aggregates, and reverting — no copy of D is made.
+/// Rules not mentioning the update's attribute contribute zero (their
+/// violation counts cannot change) and are skipped.
+class VoiRanker {
+ public:
+  /// `index` is mutated-and-restored during scoring; `weights` must have
+  /// one entry per rule (Eq. 3 weights). Non-owning pointers.
+  VoiRanker(ViolationIndex* index, const std::vector<double>* weights);
+
+  /// E[g(c)] for one group.
+  double ScoreGroup(const UpdateGroup& group,
+                    const ConfirmProbabilityFn& confirm_probability) const;
+
+  /// The benefit term of a single update r_j:
+  ///   Σ_φ w_φ (vio(D,{φ}) − vio(D^rj,{φ})) / |D^rj ⊨ φ|
+  /// (without the p̃_j factor).
+  double UpdateBenefit(const Update& update) const;
+
+  /// Scores all groups; returns indices into `groups` sorted by descending
+  /// benefit (ties by ascending index), plus the scores themselves.
+  struct Ranking {
+    std::vector<std::size_t> order;  // group indices, best first
+    std::vector<double> scores;      // aligned with `groups`
+  };
+  Ranking Rank(const std::vector<UpdateGroup>& groups,
+               const ConfirmProbabilityFn& confirm_probability) const;
+
+ private:
+  ViolationIndex* index_;
+  const std::vector<double>* weights_;
+};
+
+}  // namespace gdr
+
+#endif  // GDR_CORE_VOI_H_

@@ -1,0 +1,35 @@
+#include "data/schema.h"
+
+namespace gdr {
+
+Result<Schema> Schema::Make(std::vector<std::string> attribute_names) {
+  Schema schema;
+  for (const std::string& name : attribute_names) {
+    if (name.empty()) {
+      return Status::InvalidArgument("empty attribute name");
+    }
+    const AttrId id = static_cast<AttrId>(schema.names_.size());
+    auto [it, inserted] = schema.index_.emplace(name, id);
+    (void)it;
+    if (!inserted) {
+      return Status::InvalidArgument("duplicate attribute name: " + name);
+    }
+    schema.names_.push_back(name);
+  }
+  return schema;
+}
+
+AttrId Schema::FindAttr(std::string_view name) const {
+  auto it = index_.find(std::string(name));
+  return it == index_.end() ? kInvalidAttrId : it->second;
+}
+
+Result<AttrId> Schema::GetAttr(std::string_view name) const {
+  const AttrId id = FindAttr(name);
+  if (id == kInvalidAttrId) {
+    return Status::NotFound("no attribute named '" + std::string(name) + "'");
+  }
+  return id;
+}
+
+}  // namespace gdr

@@ -1,0 +1,53 @@
+#ifndef GDR_DATA_SCHEMA_H_
+#define GDR_DATA_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "util/result.h"
+
+namespace gdr {
+
+/// Dense index of an attribute within a relation schema.
+using AttrId = std::int32_t;
+
+inline constexpr AttrId kInvalidAttrId = -1;
+
+/// The attribute list of a single relation R. GDR (like the paper's CFD
+/// machinery) operates on one relation at a time; a multi-relation database
+/// is repaired relation-by-relation.
+class Schema {
+ public:
+  Schema() = default;
+
+  /// Builds a schema from attribute names. Fails on duplicates or empty
+  /// names.
+  static Result<Schema> Make(std::vector<std::string> attribute_names);
+
+  std::size_t num_attrs() const { return names_.size(); }
+
+  const std::string& attr_name(AttrId id) const {
+    return names_[static_cast<std::size_t>(id)];
+  }
+
+  /// Returns the id for `name`, or kInvalidAttrId if absent.
+  AttrId FindAttr(std::string_view name) const;
+
+  /// Returns the id for `name` or an error mentioning the name.
+  Result<AttrId> GetAttr(std::string_view name) const;
+
+  const std::vector<std::string>& attribute_names() const { return names_; }
+
+  bool operator==(const Schema& other) const { return names_ == other.names_; }
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, AttrId> index_;
+};
+
+}  // namespace gdr
+
+#endif  // GDR_DATA_SCHEMA_H_

@@ -1,0 +1,59 @@
+#include "data/table.h"
+
+#include <sstream>
+
+namespace gdr {
+
+Result<RowId> Table::AppendRow(const std::vector<std::string>& values) {
+  if (values.size() != schema_.num_attrs()) {
+    return Status::InvalidArgument(
+        "row arity " + std::to_string(values.size()) +
+        " does not match schema arity " + std::to_string(schema_.num_attrs()));
+  }
+  std::vector<ValueId> row(values.size());
+  for (std::size_t a = 0; a < values.size(); ++a) {
+    row[a] = dicts_[a].Intern(values[a]);
+    auto& counts = value_counts_[a];
+    if (counts.size() <= static_cast<std::size_t>(row[a])) {
+      counts.resize(static_cast<std::size_t>(row[a]) + 1, 0);
+    }
+    ++counts[static_cast<std::size_t>(row[a])];
+  }
+  rows_.push_back(std::move(row));
+  return static_cast<RowId>(rows_.size() - 1);
+}
+
+ValueId Table::Set(RowId row, AttrId attr, std::string_view value) {
+  const ValueId id = dicts_[static_cast<std::size_t>(attr)].Intern(value);
+  SetById(row, attr, id);
+  return id;
+}
+
+Result<std::size_t> Table::CountDifferingCells(const Table& other) const {
+  if (!(schema_ == other.schema_)) {
+    return Status::InvalidArgument("schemas differ");
+  }
+  if (num_rows() != other.num_rows()) {
+    return Status::InvalidArgument("row counts differ");
+  }
+  std::size_t count = 0;
+  for (std::size_t r = 0; r < num_rows(); ++r) {
+    for (std::size_t a = 0; a < num_attrs(); ++a) {
+      const RowId row = static_cast<RowId>(r);
+      const AttrId attr = static_cast<AttrId>(a);
+      if (!CellEquals(row, attr, other)) ++count;
+    }
+  }
+  return count;
+}
+
+std::string Table::RowToString(RowId row) const {
+  std::ostringstream out;
+  for (std::size_t a = 0; a < num_attrs(); ++a) {
+    if (a > 0) out << " | ";
+    out << at(row, static_cast<AttrId>(a));
+  }
+  return out.str();
+}
+
+}  // namespace gdr

@@ -1,0 +1,126 @@
+#ifndef GDR_DATA_TABLE_H_
+#define GDR_DATA_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "data/schema.h"
+#include "data/value_dict.h"
+#include "util/result.h"
+
+namespace gdr {
+
+/// Dense index of a tuple within a table. Row ids are stable: GDR repairs by
+/// value modification only (the paper's update model), never by insertion or
+/// deletion, so a RowId identifies the same logical tuple for the lifetime
+/// of an experiment.
+using RowId = std::int32_t;
+
+/// An in-memory relational instance: the database D of the paper. Row-major
+/// storage of interned ValueIds with one ValueDict per attribute.
+///
+/// The table itself is passive — it performs no constraint checking. The CFD
+/// violation machinery (src/cfd) observes cell changes through the repair
+/// engine that orchestrates mutations.
+///
+/// Copyable: a copy is a snapshot sharing no state, used for hypothetical
+/// databases and for keeping the dirty instance alongside the ground truth.
+class Table {
+ public:
+  explicit Table(Schema schema)
+      : schema_(std::move(schema)),
+        dicts_(schema_.num_attrs()),
+        value_counts_(schema_.num_attrs()) {}
+
+  Table(const Table&) = default;
+  Table& operator=(const Table&) = default;
+  Table(Table&&) = default;
+  Table& operator=(Table&&) = default;
+
+  const Schema& schema() const { return schema_; }
+  std::size_t num_rows() const { return rows_.size(); }
+  std::size_t num_attrs() const { return schema_.num_attrs(); }
+
+  /// Appends a tuple given as strings (one per attribute, in schema order).
+  /// Fails if the arity does not match.
+  Result<RowId> AppendRow(const std::vector<std::string>& values);
+
+  /// Interned cell accessor.
+  ValueId id_at(RowId row, AttrId attr) const {
+    return rows_[static_cast<std::size_t>(row)][static_cast<std::size_t>(attr)];
+  }
+
+  /// String cell accessor.
+  const std::string& at(RowId row, AttrId attr) const {
+    return dicts_[static_cast<std::size_t>(attr)].ToString(id_at(row, attr));
+  }
+
+  /// Overwrites a cell with a string value (interning it), returning the new
+  /// ValueId.
+  ValueId Set(RowId row, AttrId attr, std::string_view value);
+
+  /// Overwrites a cell with an already-interned value of this table.
+  void SetById(RowId row, AttrId attr, ValueId value) {
+    ValueId& cell =
+        rows_[static_cast<std::size_t>(row)][static_cast<std::size_t>(attr)];
+    if (cell == value) return;
+    auto& counts = value_counts_[static_cast<std::size_t>(attr)];
+    --counts[static_cast<std::size_t>(cell)];
+    cell = value;
+    if (counts.size() <= static_cast<std::size_t>(value)) {
+      counts.resize(static_cast<std::size_t>(value) + 1, 0);
+    }
+    ++counts[static_cast<std::size_t>(value)];
+  }
+
+  /// Number of rows currently holding `value` in `attr` (the value's
+  /// support in the active instance). O(1); maintained on every mutation.
+  std::int64_t ValueCount(AttrId attr, ValueId value) const {
+    const auto& counts = value_counts_[static_cast<std::size_t>(attr)];
+    return static_cast<std::size_t>(value) < counts.size()
+               ? counts[static_cast<std::size_t>(value)]
+               : 0;
+  }
+
+  /// Interns `value` in attribute `attr`'s dictionary without writing any
+  /// cell (used for pattern constants and candidate update values).
+  ValueId InternValue(AttrId attr, std::string_view value) {
+    return dicts_[static_cast<std::size_t>(attr)].Intern(value);
+  }
+
+  const ValueDict& dict(AttrId attr) const {
+    return dicts_[static_cast<std::size_t>(attr)];
+  }
+
+  /// The active domain dom(A): every value id currently interned for `attr`
+  /// is in [0, DomainSize(attr)).
+  std::size_t DomainSize(AttrId attr) const {
+    return dicts_[static_cast<std::size_t>(attr)].size();
+  }
+
+  /// True when the cell (row, attr) holds the same *string* in both tables.
+  /// Works across tables with unrelated dictionaries.
+  bool CellEquals(RowId row, AttrId attr, const Table& other) const {
+    return at(row, attr) == other.at(row, attr);
+  }
+
+  /// Number of cells whose string value differs from `other` (same schema
+  /// and row count required). This is the raw material for precision/recall.
+  Result<std::size_t> CountDifferingCells(const Table& other) const;
+
+  /// Renders a row as "v1 | v2 | ..." for logs and examples.
+  std::string RowToString(RowId row) const;
+
+ private:
+  Schema schema_;
+  std::vector<ValueDict> dicts_;
+  std::vector<std::vector<ValueId>> rows_;
+  // Per attribute: support of each value id among the current rows.
+  std::vector<std::vector<std::int64_t>> value_counts_;
+};
+
+}  // namespace gdr
+
+#endif  // GDR_DATA_TABLE_H_

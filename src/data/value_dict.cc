@@ -1,0 +1,26 @@
+#include "data/value_dict.h"
+
+#include <cassert>
+
+namespace gdr {
+
+ValueId ValueDict::Intern(std::string_view value) {
+  auto it = index_.find(std::string(value));
+  if (it != index_.end()) return it->second;
+  const ValueId id = static_cast<ValueId>(values_.size());
+  values_.emplace_back(value);
+  index_.emplace(values_.back(), id);
+  return id;
+}
+
+ValueId ValueDict::Lookup(std::string_view value) const {
+  auto it = index_.find(std::string(value));
+  return it == index_.end() ? kInvalidValueId : it->second;
+}
+
+const std::string& ValueDict::ToString(ValueId id) const {
+  assert(id >= 0 && static_cast<std::size_t>(id) < values_.size());
+  return values_[static_cast<std::size_t>(id)];
+}
+
+}  // namespace gdr

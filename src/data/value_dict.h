@@ -1,0 +1,53 @@
+#ifndef GDR_DATA_VALUE_DICT_H_
+#define GDR_DATA_VALUE_DICT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace gdr {
+
+/// Dense integer handle for an interned attribute value. Value ids are
+/// per-attribute: id 3 of "City" and id 3 of "Zip" are unrelated.
+using ValueId = std::int32_t;
+
+/// Sentinel for "no value" (used by optional pattern slots, never stored in
+/// table cells).
+inline constexpr ValueId kInvalidValueId = -1;
+
+/// Interns the string domain of one attribute. All table cells, CFD pattern
+/// constants, and ML categorical features hold ValueIds; strings are
+/// materialized only for similarity scoring and display. Ids are assigned
+/// densely in first-insertion order, so they double as array indexes.
+class ValueDict {
+ public:
+  ValueDict() = default;
+
+  /// Returns the id of `value`, interning it if new.
+  ValueId Intern(std::string_view value);
+
+  /// Returns the id of `value` or kInvalidValueId if it was never interned.
+  ValueId Lookup(std::string_view value) const;
+
+  /// Returns the string for `id`. `id` must be a valid id of this dict.
+  const std::string& ToString(ValueId id) const;
+
+  bool Contains(std::string_view value) const {
+    return Lookup(value) != kInvalidValueId;
+  }
+
+  /// Number of distinct interned values; valid ids are [0, size()).
+  std::size_t size() const { return values_.size(); }
+
+ private:
+  std::vector<std::string> values_;
+  // Owns a second copy of each key; attribute domains are small (at most a
+  // few thousand distinct strings), so the duplication is irrelevant.
+  std::unordered_map<std::string, ValueId> index_;
+};
+
+}  // namespace gdr
+
+#endif  // GDR_DATA_VALUE_DICT_H_

@@ -1,0 +1,95 @@
+#ifndef GDR_ML_DECISION_TREE_H_
+#define GDR_ML_DECISION_TREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/example.h"
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace gdr {
+
+struct DecisionTreeOptions {
+  /// Maximum tree depth (root = depth 0).
+  int max_depth = 24;
+  /// Nodes with fewer examples become leaves.
+  int min_samples_split = 2;
+  /// Number of features considered at each split; 0 means all (plain
+  /// decision tree), ⌈√M⌉ is the random-forest default (set by the forest).
+  int feature_subsample = 0;
+};
+
+/// A binary classification tree trained by recursive information-gain
+/// splitting (entropy impurity), supporting
+///  * numeric features:      x[f] <= threshold,
+///  * categorical features:  x[f] == value  (one-vs-rest),
+/// with optional per-split random feature subsampling — the standard
+/// random-forest base learner construction (Breiman 2001), which the paper
+/// uses via WEKA. One-vs-rest equality splits keep high-cardinality
+/// categorical attributes (city names, zip codes) tractable.
+///
+/// Deterministic given the training data, options, and Rng state.
+class DecisionTree {
+ public:
+  DecisionTree() = default;
+
+  /// Trains on `indices` into `data` (duplicates allowed — this is how
+  /// bootstrap bags are passed). Resets prior contents. `rng` is needed
+  /// only when options.feature_subsample > 0 (may be nullptr otherwise).
+  /// Fails on an empty index set or an empty schema.
+  Status Train(const TrainingSet& data,
+               const std::vector<std::size_t>& indices,
+               const DecisionTreeOptions& options, Rng* rng);
+
+  /// Convenience: trains on all examples of `data`.
+  Status Train(const TrainingSet& data, const DecisionTreeOptions& options,
+               Rng* rng = nullptr);
+
+  bool trained() const { return !nodes_.empty(); }
+
+  /// Majority class at the reached leaf.
+  int Predict(const std::vector<double>& features) const;
+
+  /// Class-frequency distribution at the reached leaf (sums to 1).
+  std::vector<double> PredictDistribution(
+      const std::vector<double>& features) const;
+
+  /// Number of nodes (diagnostics / tests).
+  std::size_t node_count() const { return nodes_.size(); }
+  int num_classes() const { return num_classes_; }
+
+ private:
+  struct Node {
+    // Internal node: test sends an example left when
+    //   numeric:      features[feature] <= threshold
+    //   categorical:  features[feature] == threshold
+    std::int32_t feature = -1;  // -1 marks a leaf
+    bool categorical = false;
+    double threshold = 0.0;
+    std::int32_t left = -1;
+    std::int32_t right = -1;
+    // Leaf payload.
+    std::int32_t majority = 0;
+    std::vector<double> distribution;
+  };
+
+  // Recursive builder; returns the index of the created node.
+  std::int32_t Build(const TrainingSet& data, std::vector<std::size_t>& items,
+                     int depth, const DecisionTreeOptions& options, Rng* rng);
+
+  std::int32_t MakeLeaf(const TrainingSet& data,
+                        const std::vector<std::size_t>& items);
+
+  const Node& Descend(const std::vector<double>& features) const;
+
+  std::vector<Node> nodes_;
+  int num_classes_ = 0;
+};
+
+/// Shannon entropy (nats) of a count histogram; 0 for empty/pure counts.
+double CountsEntropy(const std::vector<std::size_t>& counts);
+
+}  // namespace gdr
+
+#endif  // GDR_ML_DECISION_TREE_H_

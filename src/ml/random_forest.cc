@@ -1,0 +1,84 @@
+#include "ml/random_forest.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gdr {
+
+Status RandomForest::Train(const TrainingSet& data) {
+  if (data.empty()) {
+    return Status::InvalidArgument("cannot train a forest on zero examples");
+  }
+  trees_.clear();
+  num_classes_ = data.num_classes();
+
+  DecisionTreeOptions tree_options = options_.tree;
+  const std::size_t num_features = data.schema().num_features();
+  tree_options.feature_subsample =
+      options_.feature_subsample > 0
+          ? options_.feature_subsample
+          : static_cast<int>(
+                std::ceil(std::sqrt(static_cast<double>(num_features))));
+
+  Rng rng(options_.seed);
+  const std::size_t n = data.size();
+  const std::size_t bag_size = std::max<std::size_t>(
+      1, static_cast<std::size_t>(options_.bootstrap_fraction *
+                                  static_cast<double>(n)));
+
+  trees_.resize(static_cast<std::size_t>(options_.num_trees));
+  for (DecisionTree& tree : trees_) {
+    // Bootstrap bag: sample with replacement.
+    std::vector<std::size_t> bag(bag_size);
+    for (std::size_t& index : bag) {
+      index = static_cast<std::size_t>(rng.NextBounded(n));
+    }
+    GDR_RETURN_NOT_OK(tree.Train(data, bag, tree_options, &rng));
+  }
+  return Status::OK();
+}
+
+std::vector<int> RandomForest::CommitteeVotes(
+    const std::vector<double>& features) const {
+  std::vector<int> votes;
+  votes.reserve(trees_.size());
+  for (const DecisionTree& tree : trees_) {
+    votes.push_back(tree.Predict(features));
+  }
+  return votes;
+}
+
+std::vector<double> RandomForest::VoteFractions(
+    const std::vector<double>& features) const {
+  std::vector<double> fractions(static_cast<std::size_t>(num_classes_), 0.0);
+  if (trees_.empty()) return fractions;
+  for (const DecisionTree& tree : trees_) {
+    fractions[static_cast<std::size_t>(tree.Predict(features))] += 1.0;
+  }
+  for (double& f : fractions) f /= static_cast<double>(trees_.size());
+  return fractions;
+}
+
+int RandomForest::Predict(const std::vector<double>& features) const {
+  const std::vector<double> fractions = VoteFractions(features);
+  return static_cast<int>(std::distance(
+      fractions.begin(),
+      std::max_element(fractions.begin(), fractions.end())));
+}
+
+double RandomForest::VoteEntropy(const std::vector<double>& fractions) {
+  if (fractions.size() < 2) return 0.0;
+  const double log_base = std::log(static_cast<double>(fractions.size()));
+  double h = 0.0;
+  for (double f : fractions) {
+    if (f <= 0.0) continue;
+    h -= f * std::log(f) / log_base;
+  }
+  return h;
+}
+
+double RandomForest::Uncertainty(const std::vector<double>& features) const {
+  return VoteEntropy(VoteFractions(features));
+}
+
+}  // namespace gdr

@@ -1,0 +1,71 @@
+#ifndef GDR_ML_RANDOM_FOREST_H_
+#define GDR_ML_RANDOM_FOREST_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/decision_tree.h"
+#include "ml/example.h"
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace gdr {
+
+struct RandomForestOptions {
+  /// Committee size k; the paper uses WEKA's default k = 10.
+  int num_trees = 10;
+  /// Bootstrap sample size as a fraction of N (N' = N by Breiman's default).
+  double bootstrap_fraction = 1.0;
+  /// Per-split feature subsample M'; 0 means ⌈√M⌉ (the standard default).
+  int feature_subsample = 0;
+  /// Base-learner options (feature_subsample inside is overridden).
+  DecisionTreeOptions tree;
+  std::uint64_t seed = 1;
+};
+
+/// A bagged ensemble of decision trees (Breiman 2001) serving as the GDR
+/// learning component's classifier *and* as the active-learning committee
+/// (Section 4.2): each tree is one committee member, the ensemble
+/// prediction is the majority vote, and the disagreement entropy of the
+/// votes is the learning-benefit (uncertainty) score used to order updates
+/// for the user.
+class RandomForest {
+ public:
+  explicit RandomForest(RandomForestOptions options = {})
+      : options_(options) {}
+
+  /// (Re)trains the committee on `data`. Deterministic given options.seed.
+  /// Fails on an empty training set.
+  Status Train(const TrainingSet& data);
+
+  bool trained() const { return !trees_.empty(); }
+  int num_trees() const { return static_cast<int>(trees_.size()); }
+  int num_classes() const { return num_classes_; }
+
+  /// Majority vote over the committee (ties broken toward the smaller
+  /// class index, deterministically).
+  int Predict(const std::vector<double>& features) const;
+
+  /// Per-class fraction of committee votes (sums to 1).
+  std::vector<double> VoteFractions(const std::vector<double>& features) const;
+
+  /// Committee vote of each tree, in tree order.
+  std::vector<int> CommitteeVotes(const std::vector<double>& features) const;
+
+  /// The paper's uncertainty score: entropy of the committee vote
+  /// fractions with logarithm base = #classes, so the score is in [0, 1]
+  /// (Section 4.2's worked example: votes {3/5, 1/5, 1/5} → 0.86).
+  double Uncertainty(const std::vector<double>& features) const;
+
+  /// Entropy of an arbitrary vote-fraction vector, same normalization.
+  static double VoteEntropy(const std::vector<double>& fractions);
+
+ private:
+  RandomForestOptions options_;
+  std::vector<DecisionTree> trees_;
+  int num_classes_ = 0;
+};
+
+}  // namespace gdr
+
+#endif  // GDR_ML_RANDOM_FOREST_H_

@@ -1,0 +1,73 @@
+#include "repair/heuristic_repair.h"
+
+#include <algorithm>
+#include <optional>
+#include <vector>
+
+#include "repair/repair_state.h"
+#include "repair/update_generator.h"
+
+namespace gdr {
+
+HeuristicRepairStats RunBatchRepair(ViolationIndex* index, Table* table,
+                                    const HeuristicRepairOptions& options) {
+  RepairState state;
+  UpdateGenerator generator(index, table, &state);
+  HeuristicRepairStats stats;
+
+  for (int pass = 0; pass < options.max_passes; ++pass) {
+    const std::vector<RowId> dirty = index->DirtyRows();
+    if (dirty.empty()) break;
+    stats.passes = pass + 1;
+
+    // One best update per dirty tuple (the tuple's highest-scoring cell
+    // repair), as in BatchRepair's per-violation resolution step.
+    std::vector<Update> batch;
+    for (RowId row : dirty) {
+      std::optional<Update> best;
+      for (std::size_t a = 0; a < table->num_attrs(); ++a) {
+        auto update = generator.UpdateAttributeTuple(row, static_cast<AttrId>(a));
+        if (update && (!best || update->score > best->score)) {
+          best = update;
+        }
+      }
+      if (best) batch.push_back(*best);
+    }
+    if (batch.empty()) break;
+
+    std::sort(batch.begin(), batch.end(), [](const Update& a, const Update& b) {
+      if (a.score != b.score) return a.score > b.score;
+      if (a.row != b.row) return a.row < b.row;
+      return a.attr < b.attr;
+    });
+
+    std::size_t applied_this_pass = 0;
+    for (const Update& update : batch) {
+      if (!state.IsChangeable(update.cell())) continue;
+      // Re-check: earlier applications in this pass may have already
+      // resolved this tuple's violations.
+      if (!index->IsDirty(update.row)) continue;
+      // Cost guard (the cost-based acceptance of BatchRepair): apply only
+      // if the database's total violation count actually drops; a repair
+      // that trades one violation for several new ones is rejected and
+      // its value prevented so it is never re-suggested.
+      const std::int64_t before_vio = index->TotalViolations();
+      const ValueId old_value =
+          index->ApplyCellChange(update.row, update.attr, update.value);
+      if (index->TotalViolations() >= before_vio) {
+        index->ApplyCellChange(update.row, update.attr, old_value);
+        state.Prevent(update.cell(), update.value);
+        continue;
+      }
+      state.Freeze(update.cell());
+      ++applied_this_pass;
+    }
+    stats.updates_applied += applied_this_pass;
+    if (applied_this_pass == 0) break;
+  }
+
+  stats.remaining_violations = index->TotalViolations();
+  return stats;
+}
+
+}  // namespace gdr

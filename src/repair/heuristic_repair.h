@@ -1,0 +1,43 @@
+#ifndef GDR_REPAIR_HEURISTIC_REPAIR_H_
+#define GDR_REPAIR_HEURISTIC_REPAIR_H_
+
+#include <cstddef>
+
+#include "cfd/violation_index.h"
+#include "data/table.h"
+
+namespace gdr {
+
+struct HeuristicRepairOptions {
+  /// Upper bound on full repair passes; the algorithm usually converges in
+  /// a handful.
+  int max_passes = 25;
+};
+
+struct HeuristicRepairStats {
+  std::size_t updates_applied = 0;
+  int passes = 0;
+  std::int64_t remaining_violations = 0;
+};
+
+/// Fully automatic CFD repair in the spirit of BatchRepair (Cong et al.,
+/// VLDB 2007): the paper's "Automatic-Heuristic" baseline. Repeatedly
+/// generates the best-scoring candidate update for every dirty tuple (the
+/// same Appendix A.4 generator GDR uses), applies them in descending score
+/// order, freezes each repaired cell so the greedy choice is never revised,
+/// and stops when the database is consistent, a pass applies nothing, or
+/// `max_passes` is reached.
+///
+/// Freezing repaired cells is what makes the procedure terminate (each pass
+/// must repair at least one previously untouched cell to continue); it is
+/// also why the heuristic can lock in wrong values — exactly the risk that
+/// motivates GDR's user involvement (Section 1).
+///
+/// Mutates the table underlying `index` through the index. `table` must be
+/// the indexed table (used by the generator to intern candidate values).
+HeuristicRepairStats RunBatchRepair(ViolationIndex* index, Table* table,
+                                    const HeuristicRepairOptions& options = {});
+
+}  // namespace gdr
+
+#endif  // GDR_REPAIR_HEURISTIC_REPAIR_H_

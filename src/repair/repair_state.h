@@ -1,0 +1,55 @@
+#ifndef GDR_REPAIR_REPAIR_STATE_H_
+#define GDR_REPAIR_REPAIR_STATE_H_
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "repair/update.h"
+
+namespace gdr {
+
+/// Per-cell repair bookkeeping of Appendix A.4/A.5:
+///  * ⟨t,B⟩.Changeable — false once the cell's value has been confirmed
+///    correct (by retain feedback or by applying a confirmed update); no
+///    further updates are generated for it.
+///  * ⟨t,B⟩.preventedList — values confirmed wrong for the cell; the update
+///    generator never re-suggests them.
+///
+/// Cells start changeable with an empty prevented list; state is stored
+/// sparsely.
+class RepairState {
+ public:
+  RepairState() = default;
+
+  bool IsChangeable(CellKey cell) const {
+    return !frozen_.contains(cell);
+  }
+
+  /// Marks the cell's current value as confirmed-correct.
+  void Freeze(CellKey cell) { frozen_.insert(cell); }
+
+  void Prevent(CellKey cell, ValueId value) {
+    prevented_[cell].insert(value);
+  }
+
+  bool IsPrevented(CellKey cell, ValueId value) const {
+    auto it = prevented_.find(cell);
+    return it != prevented_.end() && it->second.contains(value);
+  }
+
+  std::size_t PreventedCount(CellKey cell) const {
+    auto it = prevented_.find(cell);
+    return it == prevented_.end() ? 0 : it->second.size();
+  }
+
+  std::size_t frozen_count() const { return frozen_.size(); }
+
+ private:
+  std::unordered_set<CellKey, CellKeyHash> frozen_;
+  std::unordered_map<CellKey, std::unordered_set<ValueId>, CellKeyHash>
+      prevented_;
+};
+
+}  // namespace gdr
+
+#endif  // GDR_REPAIR_REPAIR_STATE_H_

@@ -1,0 +1,27 @@
+#include "repair/update.h"
+
+#include <sstream>
+
+namespace gdr {
+
+std::string Update::ToString(const Table& table) const {
+  std::ostringstream out;
+  out << "t" << row << "." << table.schema().attr_name(attr) << ": '"
+      << table.at(row, attr) << "' -> '" << table.dict(attr).ToString(value)
+      << "' (s=" << score << ")";
+  return out.str();
+}
+
+const char* FeedbackName(Feedback feedback) {
+  switch (feedback) {
+    case Feedback::kConfirm:
+      return "confirm";
+    case Feedback::kReject:
+      return "reject";
+    case Feedback::kRetain:
+      return "retain";
+  }
+  return "unknown";
+}
+
+}  // namespace gdr

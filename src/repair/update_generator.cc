@@ -1,0 +1,166 @@
+#include "repair/update_generator.h"
+
+#include <algorithm>
+
+#include "util/string_similarity.h"
+
+namespace gdr {
+
+std::size_t UpdateGenerator::ProjKeyHash::operator()(
+    const ProjKey& key) const {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (ValueId id : key) {
+    h ^= static_cast<std::uint64_t>(static_cast<std::uint32_t>(id));
+    h *= 1099511628211ULL;
+  }
+  return static_cast<std::size_t>(h);
+}
+
+UpdateGenerator::UpdateGenerator(ViolationIndex* index, Table* table,
+                                 const RepairState* state)
+    : index_(index), table_(table), state_(state) {
+  const RuleSet& rules = index_->rules();
+  rule_constants_.resize(table_->num_attrs());
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    const Cfd& rule = rules.rule(static_cast<RuleId>(i));
+    auto add_constant = [this](const PatternCell& cell) {
+      if (!cell.is_constant()) return;
+      const ValueId id = table_->InternValue(cell.attr, *cell.constant);
+      std::vector<ValueId>& consts =
+          rule_constants_[static_cast<std::size_t>(cell.attr)];
+      if (std::find(consts.begin(), consts.end(), id) == consts.end()) {
+        consts.push_back(id);
+      }
+    };
+    for (const PatternCell& cell : rule.lhs()) add_constant(cell);
+    add_constant(rule.rhs());
+  }
+}
+
+double UpdateGenerator::Sim(AttrId attr, ValueId from, ValueId to) const {
+  const ValueDict& dict = table_->dict(attr);
+  return NormalizedEditSimilarity(dict.ToString(from), dict.ToString(to));
+}
+
+const UpdateGenerator::ProjIndex& UpdateGenerator::Projection(RuleId rule,
+                                                              AttrId attr) {
+  ProjIndex& proj = projections_[{rule, attr}];
+  if (proj.built_at_version == index_->version()) return proj;
+
+  const Cfd& cfd = index_->rules().rule(rule);
+  proj.key_attrs.clear();
+  for (const PatternCell& cell : cfd.lhs()) {
+    if (cell.attr != attr) proj.key_attrs.push_back(cell.attr);
+  }
+  if (cfd.rhs().attr != attr) proj.key_attrs.push_back(cfd.rhs().attr);
+
+  proj.values.clear();
+  ProjKey key(proj.key_attrs.size());
+  for (std::size_t r = 0; r < table_->num_rows(); ++r) {
+    const RowId row = static_cast<RowId>(r);
+    for (std::size_t k = 0; k < proj.key_attrs.size(); ++k) {
+      key[k] = table_->id_at(row, proj.key_attrs[k]);
+    }
+    auto& bucket = proj.values[key];
+    const ValueId v = table_->id_at(row, attr);
+    auto it = std::find_if(bucket.begin(), bucket.end(),
+                           [v](const auto& entry) { return entry.first == v; });
+    if (it != bucket.end()) {
+      ++it->second;
+    } else if (bucket.size() < kMaxValuesPerProjection) {
+      bucket.emplace_back(v, 1);
+    }
+  }
+  proj.built_at_version = index_->version();
+  return proj;
+}
+
+std::optional<Update> UpdateGenerator::UpdateAttributeTuple(RowId row,
+                                                            AttrId attr) {
+  const CellKey cell{row, attr};
+  if (!state_->IsChangeable(cell)) return std::nullopt;
+
+  const ValueId current = table_->id_at(row, attr);
+  double best_score = -1.0;
+  ValueId best_value = kInvalidValueId;
+
+  auto consider = [&](ValueId v, double score) {
+    if (v == current || v == kInvalidValueId) return;
+    if (state_->IsPrevented(cell, v)) return;
+    // Strict improvement: earlier scenarios (and rule constants, offered
+    // first in scenario 3) win ties, mirroring Algorithm 1's cur_s >
+    // best_s test.
+    if (score > best_score) {
+      best_score = score;
+      best_value = v;
+    }
+  };
+
+  // conf ratio helper: support of the suggested value against the current
+  // value within the evidence set (see class comment).
+  auto support_ratio = [](std::int64_t suggested, std::int64_t current_count) {
+    const double total =
+        static_cast<double>(suggested) + static_cast<double>(current_count);
+    return total <= 0.0 ? 0.0 : static_cast<double>(suggested) / total;
+  };
+
+  const RuleSet& rules = index_->rules();
+  const std::vector<RuleId> violated = index_->ViolatedRules(row);
+  std::vector<RuleId> lhs_of;  // violated rules with attr ∈ LHS
+
+  for (RuleId rid : violated) {
+    const Cfd& rule = rules.rule(rid);
+    if (rule.rhs().attr == attr) {
+      if (rule.IsConstant()) {
+        // Scenario 1: adopt the pattern constant (conf = 1).
+        const ValueId v = table_->InternValue(attr, *rule.rhs().constant);
+        consider(v, Sim(attr, current, v));
+      } else {
+        // Scenario 2: adopt a violation partner's RHS value, weighted by
+        // its share of the violating group.
+        const std::int64_t current_count =
+            index_->GroupRhsValueCount(row, rid, current);
+        for (RowId partner : index_->ViolationPartners(row, rid)) {
+          const ValueId v = table_->id_at(partner, attr);
+          const double conf = support_ratio(
+              index_->GroupRhsValueCount(row, rid, v), current_count);
+          consider(v, Sim(attr, current, v) * conf);
+        }
+      }
+    }
+    if (rule.LhsContains(attr)) lhs_of.push_back(rid);
+  }
+
+  if (!lhs_of.empty()) {
+    // Scenario 3: semantically related replacements — rule constants
+    // first, then values from tuples matching t[(X ∪ A) − {B}].
+    const std::int64_t current_global = table_->ValueCount(attr, current);
+    for (ValueId v : RuleConstants(attr)) {
+      const double conf =
+          support_ratio(table_->ValueCount(attr, v), current_global);
+      consider(v, Sim(attr, current, v) * conf);
+    }
+    for (RuleId rid : lhs_of) {
+      const ProjIndex& proj = Projection(rid, attr);
+      ProjKey key(proj.key_attrs.size());
+      for (std::size_t k = 0; k < proj.key_attrs.size(); ++k) {
+        key[k] = table_->id_at(row, proj.key_attrs[k]);
+      }
+      auto it = proj.values.find(key);
+      if (it == proj.values.end()) continue;
+      std::int64_t current_in_bucket = 0;
+      for (const auto& [v, count] : it->second) {
+        if (v == current) current_in_bucket = count;
+      }
+      for (const auto& [v, count] : it->second) {
+        const double conf = support_ratio(count, current_in_bucket);
+        consider(v, Sim(attr, current, v) * conf);
+      }
+    }
+  }
+
+  if (best_value == kInvalidValueId) return std::nullopt;
+  return Update{row, attr, best_value, best_score};
+}
+
+}  // namespace gdr

@@ -1,0 +1,18 @@
+#include "repair/update_pool.h"
+
+#include <algorithm>
+
+namespace gdr {
+
+std::vector<Update> UpdatePool::All() const {
+  std::vector<Update> out;
+  out.reserve(pool_.size());
+  for (const auto& [cell, update] : pool_) out.push_back(update);
+  std::sort(out.begin(), out.end(), [](const Update& a, const Update& b) {
+    if (a.row != b.row) return a.row < b.row;
+    return a.attr < b.attr;
+  });
+  return out;
+}
+
+}  // namespace gdr

@@ -1,0 +1,48 @@
+#ifndef GDR_REPAIR_UPDATE_POOL_H_
+#define GDR_REPAIR_UPDATE_POOL_H_
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "repair/update.h"
+
+namespace gdr {
+
+/// The PossibleUpdates list of Section 3: the live pool of candidate
+/// updates. The on-demand generator produces at most one suggestion per
+/// cell at a time (the best-scoring one); rejected suggestions are replaced,
+/// so the pool is a map cell → update.
+class UpdatePool {
+ public:
+  UpdatePool() = default;
+
+  /// Inserts or replaces the suggestion for the update's cell.
+  void Upsert(const Update& update) { pool_[update.cell()] = update; }
+
+  /// Removes any suggestion for `cell`; returns true if one was present.
+  bool Remove(CellKey cell) { return pool_.erase(cell) > 0; }
+
+  /// Current suggestion for `cell`, if any.
+  std::optional<Update> Get(CellKey cell) const {
+    auto it = pool_.find(cell);
+    if (it == pool_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  bool Contains(CellKey cell) const { return pool_.contains(cell); }
+
+  std::size_t size() const { return pool_.size(); }
+  bool empty() const { return pool_.empty(); }
+
+  /// Snapshot of all pooled updates, ordered by (row, attr) so that
+  /// downstream grouping and ranking are deterministic.
+  std::vector<Update> All() const;
+
+ private:
+  std::unordered_map<CellKey, Update, CellKeyHash> pool_;
+};
+
+}  // namespace gdr
+
+#endif  // GDR_REPAIR_UPDATE_POOL_H_

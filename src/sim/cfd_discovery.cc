@@ -1,0 +1,180 @@
+#include "sim/cfd_discovery.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <unordered_map>
+
+namespace gdr {
+
+Result<RuleSet> DiscoverConstantCfds(const Table& table,
+                                     const std::vector<AttrId>& attrs,
+                                     const CfdDiscoveryOptions& options) {
+  if (options.min_support <= 0.0 || options.min_support > 1.0) {
+    return Status::InvalidArgument("min_support must be in (0, 1]");
+  }
+  if (options.min_confidence <= 0.0 || options.min_confidence > 1.0) {
+    return Status::InvalidArgument("min_confidence must be in (0, 1]");
+  }
+  RuleSet rules(table.schema());
+  const std::size_t n = table.num_rows();
+  if (n == 0) return rules;
+  const std::size_t min_count = static_cast<std::size_t>(
+      std::ceil(options.min_support * static_cast<double>(n)));
+
+  int rule_number = 0;
+  for (AttrId lhs : attrs) {
+    for (AttrId rhs : attrs) {
+      if (lhs == rhs) continue;
+      // a -> histogram over b, plus a's total support.
+      std::unordered_map<ValueId, std::unordered_map<ValueId, std::size_t>>
+          cooccurrence;
+      std::unordered_map<ValueId, std::size_t> support;
+      for (std::size_t r = 0; r < n; ++r) {
+        const RowId row = static_cast<RowId>(r);
+        const ValueId a = table.id_at(row, lhs);
+        const ValueId b = table.id_at(row, rhs);
+        ++cooccurrence[a][b];
+        ++support[a];
+      }
+      // Deterministic order: ascending LHS value id.
+      for (std::size_t v = 0; v < table.DomainSize(lhs); ++v) {
+        const ValueId a = static_cast<ValueId>(v);
+        auto sup = support.find(a);
+        if (sup == support.end() || sup->second < min_count) continue;
+        const auto& histogram = cooccurrence[a];
+        ValueId mode = kInvalidValueId;
+        std::size_t mode_count = 0;
+        for (const auto& [b, count] : histogram) {
+          if (count > mode_count ||
+              (count == mode_count && b < mode)) {
+            mode = b;
+            mode_count = count;
+          }
+        }
+        const double confidence = static_cast<double>(mode_count) /
+                                  static_cast<double>(sup->second);
+        if (confidence < options.min_confidence) continue;
+        GDR_RETURN_NOT_OK(rules.AddRule(
+            "disc" + std::to_string(++rule_number),
+            {PatternCell{lhs, table.dict(lhs).ToString(a)}},
+            {PatternCell{rhs, table.dict(rhs).ToString(mode)}}));
+      }
+    }
+  }
+  return rules;
+}
+
+namespace {
+
+// Confidence and pair coverage of the candidate FD lhs -> rhs under the
+// per-group-majority (g3-style) measure.
+struct FdScore {
+  double confidence = 0.0;
+  double pair_coverage = 0.0;
+};
+
+FdScore ScoreFd(const Table& table, const std::vector<AttrId>& lhs,
+                AttrId rhs) {
+  // Group rows by the LHS projection; count the majority RHS value per
+  // group. std::map keys keep evaluation deterministic.
+  std::map<std::vector<ValueId>, std::unordered_map<ValueId, std::size_t>>
+      groups;
+  std::vector<ValueId> key(lhs.size());
+  for (std::size_t r = 0; r < table.num_rows(); ++r) {
+    const RowId row = static_cast<RowId>(r);
+    for (std::size_t k = 0; k < lhs.size(); ++k) {
+      key[k] = table.id_at(row, lhs[k]);
+    }
+    ++groups[key][table.id_at(row, rhs)];
+  }
+  std::size_t kept = 0;
+  std::size_t in_pairs = 0;
+  for (const auto& [group_key, counts] : groups) {
+    std::size_t total = 0;
+    std::size_t majority = 0;
+    for (const auto& [value, count] : counts) {
+      total += count;
+      majority = std::max(majority, count);
+    }
+    kept += majority;
+    if (total >= 2) in_pairs += total;
+  }
+  const double n = static_cast<double>(table.num_rows());
+  FdScore score;
+  if (n > 0) {
+    score.confidence = static_cast<double>(kept) / n;
+    score.pair_coverage = static_cast<double>(in_pairs) / n;
+  }
+  return score;
+}
+
+}  // namespace
+
+Result<RuleSet> DiscoverVariableCfds(const Table& table,
+                                     const std::vector<AttrId>& attrs,
+                                     const FdDiscoveryOptions& options) {
+  if (options.min_confidence <= 0.0 || options.min_confidence > 1.0) {
+    return Status::InvalidArgument("min_confidence must be in (0, 1]");
+  }
+  if (options.max_lhs < 1 || options.max_lhs > 2) {
+    return Status::InvalidArgument("max_lhs must be 1 or 2");
+  }
+  RuleSet rules(table.schema());
+  if (table.num_rows() == 0) return rules;
+
+  int rule_number = 0;
+  auto try_emit = [&](const std::vector<AttrId>& lhs,
+                      AttrId rhs) -> Result<bool> {
+    const FdScore score = ScoreFd(table, lhs, rhs);
+    if (score.confidence < options.min_confidence ||
+        score.pair_coverage < options.min_pair_coverage) {
+      return false;
+    }
+    std::vector<PatternCell> lhs_cells;
+    for (AttrId attr : lhs) {
+      lhs_cells.push_back(PatternCell{attr, std::nullopt});
+    }
+    GDR_RETURN_NOT_OK(rules.AddRule("fd" + std::to_string(++rule_number),
+                                    std::move(lhs_cells),
+                                    {PatternCell{rhs, std::nullopt}}));
+    return true;
+  };
+
+  // Level 1: single-attribute LHS. Remember satisfied RHSs for minimality.
+  std::vector<std::vector<bool>> covered(
+      table.num_attrs(), std::vector<bool>(table.num_attrs(), false));
+  for (AttrId rhs : attrs) {
+    for (AttrId lhs : attrs) {
+      if (lhs == rhs) continue;
+      GDR_ASSIGN_OR_RETURN(bool emitted, try_emit({lhs}, rhs));
+      if (emitted) {
+        covered[static_cast<std::size_t>(lhs)][static_cast<std::size_t>(
+            rhs)] = true;
+      }
+    }
+  }
+  if (options.max_lhs < 2) return rules;
+
+  // Level 2: pairs, skipping supersets of an emitted level-1 LHS for the
+  // same RHS (minimality pruning).
+  for (AttrId rhs : attrs) {
+    for (std::size_t i = 0; i < attrs.size(); ++i) {
+      for (std::size_t j = i + 1; j < attrs.size(); ++j) {
+        const AttrId a = attrs[i];
+        const AttrId b = attrs[j];
+        if (a == rhs || b == rhs) continue;
+        if (covered[static_cast<std::size_t>(a)][static_cast<std::size_t>(
+                rhs)] ||
+            covered[static_cast<std::size_t>(b)][static_cast<std::size_t>(
+                rhs)]) {
+          continue;
+        }
+        GDR_RETURN_NOT_OK(try_emit({a, b}, rhs).status());
+      }
+    }
+  }
+  return rules;
+}
+
+}  // namespace gdr

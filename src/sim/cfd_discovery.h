@@ -1,0 +1,62 @@
+#ifndef GDR_SIM_CFD_DISCOVERY_H_
+#define GDR_SIM_CFD_DISCOVERY_H_
+
+#include <vector>
+
+#include "cfd/cfd.h"
+#include "data/table.h"
+#include "util/result.h"
+
+namespace gdr {
+
+struct CfdDiscoveryOptions {
+  /// Minimum fraction of tuples the pattern's LHS constant must cover
+  /// (the paper's experiments use a 5% support threshold).
+  double min_support = 0.05;
+  /// Minimum fraction of covered tuples that must agree on the RHS value.
+  /// Below 1.0 tolerates dirty data, which is the point of discovering
+  /// rules from an instance that needs repairing.
+  double min_confidence = 0.85;
+};
+
+/// Discovers constant CFDs of the form (A = a → B = b) from an instance —
+/// a deliberately simplified take on the discovery algorithms of Fan et
+/// al. (ICDE 2009) restricted to single-attribute LHS patterns, which is
+/// the rule shape Dataset 2's experiments rely on.
+///
+/// For every ordered attribute pair (A, B), A ≠ B, and every value a of A
+/// with support ≥ min_support·|D|: if the most frequent co-occurring B
+/// value b covers ≥ min_confidence of a's tuples, emit (A=a → B=b).
+/// Deterministic: rules are ordered by (A, B, a's value id).
+Result<RuleSet> DiscoverConstantCfds(const Table& table,
+                                     const std::vector<AttrId>& attrs,
+                                     const CfdDiscoveryOptions& options = {});
+
+struct FdDiscoveryOptions {
+  /// Minimum confidence of the dependency under the g3-style measure:
+  /// the fraction of tuples that would satisfy X → A after removing the
+  /// fewest violators (per-group majority agreement).
+  double min_confidence = 0.9;
+  /// At least this fraction of tuples must sit in LHS groups of size ≥ 2;
+  /// below it the dependency is vacuously "true" (X is nearly a key) and
+  /// useless as a repair rule.
+  double min_pair_coverage = 0.2;
+  /// Maximum LHS size explored (1 or 2).
+  int max_lhs = 2;
+};
+
+/// Discovers *variable* CFDs (X → A, tp all-wildcard) — approximate
+/// functional dependencies mined with a support/confidence lattice walk in
+/// the spirit of the discovery algorithms the paper cites (Fan et al.
+/// ICDE 2009, Golab et al. VLDB 2008), restricted to |X| ≤ 2.
+///
+/// Prunes: trivial dependencies (A ∈ X), near-key LHSs (see
+/// min_pair_coverage), and supersets of an already-emitted LHS for the
+/// same RHS (minimality). Deterministic output order.
+Result<RuleSet> DiscoverVariableCfds(const Table& table,
+                                     const std::vector<AttrId>& attrs,
+                                     const FdDiscoveryOptions& options = {});
+
+}  // namespace gdr
+
+#endif  // GDR_SIM_CFD_DISCOVERY_H_

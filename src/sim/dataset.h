@@ -1,0 +1,29 @@
+#ifndef GDR_SIM_DATASET_H_
+#define GDR_SIM_DATASET_H_
+
+#include <string>
+
+#include "cfd/cfd.h"
+#include "data/table.h"
+
+namespace gdr {
+
+/// An experiment-ready workload: the ground-truth instance D_opt, the
+/// dirty instance D to repair, and the data-quality rules Σ. `clean` and
+/// `dirty` have identical schemas and row counts; `dirty` starts as a copy
+/// of `clean` with injected errors, so shared value ids agree.
+struct Dataset {
+  std::string name;
+  Table clean;
+  Table dirty;
+  RuleSet rules;
+  /// Tuples that received at least one injected error.
+  std::size_t corrupted_tuples = 0;
+
+  explicit Dataset(const Schema& schema)
+      : clean(schema), dirty(schema), rules(schema) {}
+};
+
+}  // namespace gdr
+
+#endif  // GDR_SIM_DATASET_H_

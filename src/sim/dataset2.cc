@@ -1,0 +1,130 @@
+#include "sim/dataset2.h"
+
+#include <vector>
+
+#include "sim/error_injector.h"
+#include "util/rng.h"
+
+namespace gdr {
+
+namespace {
+
+// The synthetic census world. Each occupation deterministically entails a
+// workclass, an income bracket, and (bijectively) an education level;
+// relationships and marital statuses are in bijection. The bidirectional
+// determinism is deliberate: it is what makes the corrupted value of *any*
+// dependency attribute detectable from some rule direction after CFD
+// discovery — the property the paper's Dataset 2 rule set (discovered with
+// the algorithm of Fan et al.) exhibits on the real Adult data.
+struct OccupationSpec {
+  const char* occupation;
+  const char* workclass;
+  const char* income;
+  const char* education;  // 1:1 with occupation
+};
+
+constexpr OccupationSpec kOccupations[] = {
+    {"Exec-managerial", "Private", ">50K", "Masters"},
+    {"Prof-specialty", "Private", ">50K", "Doctorate"},
+    {"Tech-support", "Private", "<=50K", "Assoc-voc"},
+    {"Craft-repair", "Private", "<=50K", "HS-grad"},
+    {"Sales", "Private", "<=50K", "Some-college"},
+    {"Adm-clerical", "Government", "<=50K", "Bachelors"},
+    {"Protective-serv", "Government", "<=50K", "Assoc-acdm"},
+    {"Farming-fishing", "Self-employed", "<=50K", "11th"},
+    {"Handlers-cleaners", "Private", "<=50K", "9th"},
+    {"Transport-moving", "Private", "<=50K", "Prof-school"},
+};
+
+struct RelationshipSpec {
+  const char* relationship;
+  const char* marital_status;  // 1:1 with relationship
+};
+
+constexpr RelationshipSpec kRelationships[] = {
+    {"Husband", "Married-civ-spouse"},
+    {"Wife", "Married-AF-spouse"},
+    {"Own-child", "Never-married"},
+    {"Not-in-family", "Separated"},
+    {"Unmarried", "Divorced"},
+    {"Other-relative", "Widowed"},
+};
+
+constexpr const char* kCountries[] = {
+    "United-States", "Mexico", "Philippines", "Germany",
+    "Canada", "India", "England", "Cuba",
+};
+
+constexpr const char* kRaces[] = {
+    "White", "Black", "Asian-Pac-Islander", "Amer-Indian-Eskimo", "Other",
+};
+
+constexpr const char* kHours[] = {"20", "35", "40", "45", "50", "60"};
+
+template <typename T, std::size_t N>
+const T& Pick(const T (&items)[N], Rng* rng) {
+  return items[rng->NextBounded(N)];
+}
+
+}  // namespace
+
+Result<Dataset> GenerateDataset2(const Dataset2Options& options) {
+  GDR_ASSIGN_OR_RETURN(
+      Schema schema,
+      Schema::Make({"education", "hours_per_week", "income", "marital_status",
+                    "native_country", "occupation", "race", "relationship",
+                    "sex", "workclass"}));
+  Dataset dataset(schema);
+  dataset.name = "dataset2-census";
+
+  Rng rng(options.seed);
+  for (std::size_t i = 0; i < options.num_records; ++i) {
+    const OccupationSpec& occ = Pick(kOccupations, &rng);
+    const RelationshipSpec& rel = Pick(kRelationships, &rng);
+    std::vector<std::string> row = {
+        /*education=*/occ.education,
+        /*hours_per_week=*/Pick(kHours, &rng),
+        /*income=*/occ.income,
+        /*marital_status=*/rel.marital_status,
+        /*native_country=*/Pick(kCountries, &rng),
+        /*occupation=*/occ.occupation,
+        /*race=*/Pick(kRaces, &rng),
+        /*relationship=*/rel.relationship,
+        /*sex=*/rng.NextBernoulli(0.5) ? "Male" : "Female",
+        /*workclass=*/occ.workclass,
+    };
+    GDR_ASSIGN_OR_RETURN(RowId added, dataset.clean.AppendRow(row));
+    (void)added;
+  }
+
+  // Random, uncorrelated corruption over the dependency attributes — the
+  // defining property of Dataset 2 (no signal for the learner beyond the
+  // consistency features, near-uniform group sizes).
+  dataset.dirty = dataset.clean;
+  std::vector<AttrId> corruptible;
+  for (const char* name :
+       {"education", "income", "marital_status", "occupation",
+        "relationship", "workclass"}) {
+    GDR_ASSIGN_OR_RETURN(AttrId attr, schema.GetAttr(name));
+    corruptible.push_back(attr);
+  }
+  RandomErrorOptions error_options;
+  error_options.dirty_tuple_fraction = options.dirty_tuple_fraction;
+  error_options.max_attrs_per_tuple = 2;
+  error_options.char_edit_probability = 0.5;
+  error_options.seed = options.seed * 131 + 7;
+  dataset.corrupted_tuples =
+      InjectRandomErrors(&dataset.dirty, corruptible, error_options);
+
+  // Discover the rules from the dirty instance, as in the paper.
+  std::vector<AttrId> all_attrs;
+  for (std::size_t a = 0; a < schema.num_attrs(); ++a) {
+    all_attrs.push_back(static_cast<AttrId>(a));
+  }
+  GDR_ASSIGN_OR_RETURN(
+      dataset.rules,
+      DiscoverConstantCfds(dataset.dirty, all_attrs, options.discovery));
+  return dataset;
+}
+
+}  // namespace gdr

@@ -1,0 +1,43 @@
+#ifndef GDR_SIM_DATASET2_H_
+#define GDR_SIM_DATASET2_H_
+
+#include <cstdint>
+
+#include "sim/cfd_discovery.h"
+#include "sim/dataset.h"
+#include "util/result.h"
+
+namespace gdr {
+
+/// Generator options for the Dataset 2 analog (the paper uses the UCI
+/// Adult census sample, assumed clean, with synthetic random errors; see
+/// DESIGN.md).
+struct Dataset2Options {
+  std::size_t num_records = 23000;  // the paper's "about 23,000 records"
+  /// Fraction of tuples corrupted (paper: 30%).
+  double dirty_tuple_fraction = 0.3;
+  std::uint64_t seed = 23;
+  /// Rule discovery settings (paper: 5% support threshold).
+  CfdDiscoveryOptions discovery;
+};
+
+/// Generates the census workload:
+///  * Schema: education, hours_per_week, income, marital_status,
+///    native_country, occupation, race, relationship, sex, workclass
+///    (the Appendix B attribute subset).
+///  * Clean records come from a synthetic joint distribution with three
+///    deterministic dependencies baked in — relationship → marital_status,
+///    occupation → workclass, occupation → income — which is what makes
+///    constant CFDs discoverable at the paper's 5% support threshold.
+///  * Errors are *uniformly random* (uncorrelated): 30% of tuples get 1–2
+///    randomly chosen attributes perturbed by character edits or domain
+///    swaps. Random errors are Dataset 2's defining property: they leave
+///    little signal for the learner, and update-group sizes come out
+///    nearly uniform.
+///  * Rules are discovered from the *dirty* instance (as a practitioner
+///    would) with DiscoverConstantCfds.
+Result<Dataset> GenerateDataset2(const Dataset2Options& options = {});
+
+}  // namespace gdr
+
+#endif  // GDR_SIM_DATASET2_H_

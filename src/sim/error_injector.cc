@@ -1,0 +1,87 @@
+#include "sim/error_injector.h"
+
+#include <algorithm>
+
+namespace gdr {
+
+namespace {
+
+constexpr char kAlphabet[] = "abcdefghijklmnopqrstuvwxyz0123456789";
+
+char RandomChar(Rng* rng) {
+  return kAlphabet[rng->NextBounded(sizeof(kAlphabet) - 1)];
+}
+
+}  // namespace
+
+std::string PerturbCharacters(const std::string& value, Rng* rng) {
+  if (value.empty()) return std::string(1, RandomChar(rng));
+  std::string out = value;
+  const int edits = 1 + static_cast<int>(rng->NextBounded(2));
+  for (int e = 0; e < edits; ++e) {
+    const std::size_t pos = rng->NextBounded(out.size());
+    switch (rng->NextBounded(4)) {
+      case 0:  // substitution
+        out[pos] = RandomChar(rng);
+        break;
+      case 1:  // deletion
+        if (out.size() > 1) out.erase(pos, 1);
+        break;
+      case 2:  // insertion
+        out.insert(pos, 1, RandomChar(rng));
+        break;
+      default:  // adjacent transposition
+        if (pos + 1 < out.size()) std::swap(out[pos], out[pos + 1]);
+        break;
+    }
+  }
+  if (out == value) {
+    // The edits happened to cancel out; force a substitution.
+    const std::size_t pos = rng->NextBounded(out.size());
+    char c = RandomChar(rng);
+    while (c == out[pos]) c = RandomChar(rng);
+    out[pos] = c;
+  }
+  return out;
+}
+
+std::string DomainSwap(const Table& table, AttrId attr,
+                       const std::string& current, Rng* rng) {
+  const std::size_t domain = table.DomainSize(attr);
+  if (domain < 2) return PerturbCharacters(current, rng);
+  for (int attempt = 0; attempt < 16; ++attempt) {
+    const ValueId v = static_cast<ValueId>(rng->NextBounded(domain));
+    const std::string& candidate = table.dict(attr).ToString(v);
+    if (candidate != current) return candidate;
+  }
+  return PerturbCharacters(current, rng);
+}
+
+std::size_t InjectRandomErrors(Table* table, const std::vector<AttrId>& attrs,
+                               const RandomErrorOptions& options) {
+  Rng rng(options.seed);
+  std::size_t corrupted = 0;
+  for (std::size_t r = 0; r < table->num_rows(); ++r) {
+    if (!rng.NextBernoulli(options.dirty_tuple_fraction)) continue;
+    ++corrupted;
+    const RowId row = static_cast<RowId>(r);
+    const int num_attrs =
+        1 + static_cast<int>(rng.NextBounded(
+                static_cast<std::uint64_t>(options.max_attrs_per_tuple)));
+    const std::vector<std::size_t> picked = rng.SampleWithoutReplacement(
+        attrs.size(), std::min<std::size_t>(
+                          static_cast<std::size_t>(num_attrs), attrs.size()));
+    for (std::size_t p : picked) {
+      const AttrId attr = attrs[p];
+      const std::string current = table->at(row, attr);
+      const std::string corrupt =
+          rng.NextBernoulli(options.char_edit_probability)
+              ? PerturbCharacters(current, &rng)
+              : DomainSwap(*table, attr, current, &rng);
+      table->Set(row, attr, corrupt);
+    }
+  }
+  return corrupted;
+}
+
+}  // namespace gdr

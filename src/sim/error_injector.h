@@ -1,0 +1,46 @@
+#ifndef GDR_SIM_ERROR_INJECTOR_H_
+#define GDR_SIM_ERROR_INJECTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "data/table.h"
+#include "util/rng.h"
+
+namespace gdr {
+
+/// Elementary corruption operators of Appendix B ("changing characters or
+/// replacing the attribute value with another value from the domain").
+
+/// Applies 1–2 character-level edits (substitution, deletion, insertion,
+/// or adjacent transposition) to `value`. Never returns `value` unchanged
+/// for non-empty inputs.
+std::string PerturbCharacters(const std::string& value, Rng* rng);
+
+/// A uniformly random *different* value from the attribute's active
+/// domain; falls back to character perturbation when the domain has a
+/// single value.
+std::string DomainSwap(const Table& table, AttrId attr,
+                       const std::string& current, Rng* rng);
+
+struct RandomErrorOptions {
+  /// Fraction of tuples corrupted (the paper reports 30% dirty).
+  double dirty_tuple_fraction = 0.3;
+  /// Per dirty tuple, 1..max_attrs_per_tuple random attributes corrupted.
+  int max_attrs_per_tuple = 2;
+  /// Probability of a character perturbation (vs a domain swap).
+  double char_edit_probability = 0.5;
+  std::uint64_t seed = 5;
+};
+
+/// The Dataset 2 error model: uniformly random corruption with no
+/// correlation to any attribute — randomly picked tuples, randomly picked
+/// attributes, random perturbation kind. Mutates `table` in place
+/// (`attrs`: the corruptible attributes). Returns the number of corrupted
+/// tuples.
+std::size_t InjectRandomErrors(Table* table, const std::vector<AttrId>& attrs,
+                               const RandomErrorOptions& options);
+
+}  // namespace gdr
+
+#endif  // GDR_SIM_ERROR_INJECTOR_H_

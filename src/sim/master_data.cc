@@ -1,0 +1,189 @@
+#include "sim/master_data.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace gdr {
+
+namespace {
+
+struct CitySpec {
+  const char* name;
+  int num_zips;
+  int first_zip;
+};
+
+// Indiana-flavored city list. Zip numbers are synthetic but follow the
+// 46xxx/47xxx shape of the paper's examples; consecutive zips of one city
+// are boundary partners, and single-zip cities partner with the next city
+// in the list (boundary between towns).
+constexpr CitySpec kCities[] = {
+    {"Indianapolis", 4, 46201}, {"Fort Wayne", 3, 46802},
+    {"Evansville", 3, 47708},   {"South Bend", 2, 46601},
+    {"Carmel", 2, 46032},       {"Fishers", 2, 46037},
+    {"Bloomington", 2, 47401},  {"Hammond", 2, 46320},
+    {"Gary", 2, 46402},         {"Lafayette", 2, 47901},
+    {"Muncie", 2, 47302},       {"Terre Haute", 2, 47801},
+    {"Kokomo", 1, 46901},       {"Anderson", 1, 46011},
+    {"Noblesville", 1, 46060},  {"Greenwood", 1, 46142},
+    {"Elkhart", 1, 46514},      {"Mishawaka", 1, 46544},
+    {"Michigan City", 1, 46360}, {"Westville", 1, 46391},
+    {"New Haven", 1, 46774},    {"Columbus", 1, 47201},
+    {"Jeffersonville", 1, 47130}, {"Richmond", 1, 47374},
+};
+
+constexpr const char* kStreetBases[] = {
+    "Main",    "Oak",     "Maple",   "Washington", "Jefferson",
+    "Sherden", "Walnut",  "Lincoln", "Jackson",    "Meridian",
+    "Elm",     "Cedar",   "Spring",  "Franklin",   "Harrison",
+    "Monroe",  "Madison", "Market",  "College",    "Riverside",
+};
+
+constexpr const char* kStreetSuffixes[] = {"St", "Ave", "Rd", "Blvd", "Dr"};
+
+}  // namespace
+
+const ZipEntry& MasterDirectory::EntryForZip(const std::string& zip) const {
+  for (const ZipEntry& entry : zips) {
+    if (entry.zip == zip) return entry;
+  }
+  assert(false && "unknown zip");
+  return zips.front();
+}
+
+std::string MasterDirectory::ZipOfStreet(const std::string& street,
+                                         const std::string& city) const {
+  auto it = zip_of_street.find(street + "|" + city);
+  return it == zip_of_street.end() ? std::string() : it->second;
+}
+
+MasterDirectory MasterDirectory::BuildIndiana() {
+  MasterDirectory dir;
+  for (const CitySpec& spec : kCities) {
+    dir.cities.emplace_back(spec.name);
+    std::vector<std::string> city_zips;
+    for (int z = 0; z < spec.num_zips; ++z) {
+      city_zips.push_back(std::to_string(spec.first_zip + z));
+      dir.zips.push_back({city_zips.back(), spec.name, "IN"});
+    }
+    // Streets: 40 per city (each base with two suffixes), partitioned
+    // round-robin among the city's zips so (street, city) -> zip is a
+    // function. Street groups of a few dozen tuples keep the pairwise
+    // violation fan-out of a single wrong zip bounded.
+    constexpr std::size_t kNumSuffixes =
+        sizeof(kStreetSuffixes) / sizeof(kStreetSuffixes[0]);
+    std::vector<std::string>& streets = dir.streets_by_city[spec.name];
+    int street_index = 0;
+    for (const char* base : kStreetBases) {
+      for (int variant = 0; variant < 2; ++variant) {
+        const std::string street =
+            std::string(base) + " " +
+            kStreetSuffixes[(static_cast<std::size_t>(street_index) +
+                             static_cast<std::size_t>(variant)) %
+                            kNumSuffixes];
+        streets.push_back(street);
+        dir.zip_of_street[street + "|" + spec.name] =
+            city_zips[static_cast<std::size_t>(street_index) %
+                      city_zips.size()];
+        ++street_index;
+      }
+    }
+    // Boundary partners within the city.
+    for (std::size_t z = 0; z + 1 < city_zips.size(); ++z) {
+      dir.boundary_partner[city_zips[z]] = city_zips[z + 1];
+      dir.boundary_partner[city_zips[z + 1]] = city_zips[z];
+    }
+  }
+  // Single-zip cities: partner with the next city's first zip (the
+  // "located on the boundary between two towns" pattern).
+  for (std::size_t c = 0; c < dir.cities.size(); ++c) {
+    const CitySpec& spec = kCities[c];
+    if (spec.num_zips != 1) continue;
+    const std::string zip = std::to_string(spec.first_zip);
+    const CitySpec& next = kCities[(c + 1) % dir.cities.size()];
+    dir.boundary_partner[zip] = std::to_string(next.first_zip);
+  }
+  return dir;
+}
+
+const char* HospitalProfileName(Hospital::Profile profile) {
+  switch (profile) {
+    case Hospital::Profile::kClean:
+      return "clean";
+    case Hospital::Profile::kCityTypo:
+      return "city-typo";
+    case Hospital::Profile::kCitySwap:
+      return "city-swap";
+    case Hospital::Profile::kZipBoundary:
+      return "zip-boundary";
+    case Hospital::Profile::kStateTypo:
+      return "state-typo";
+    case Hospital::Profile::kStreetTypo:
+      return "street-typo";
+  }
+  return "unknown";
+}
+
+std::vector<Hospital> BuildHospitals(const MasterDirectory& directory,
+                                     const HospitalFleetOptions& options) {
+  Rng rng(options.seed);
+  std::vector<Hospital> hospitals;
+  hospitals.reserve(options.count);
+
+  // The dirty profiles cycle so every error pattern is represented; rates
+  // vary per hospital so the learner sees graded signal strength. Zip and
+  // street corruption are kept rarer: a single wrong zip dirties its whole
+  // (street, city) group through the variable rule, so a small share of
+  // zip-corrupting hospitals already yields plenty of pairwise violations.
+  constexpr Hospital::Profile kDirtyProfiles[] = {
+      Hospital::Profile::kCitySwap, Hospital::Profile::kCityTypo,
+      Hospital::Profile::kStateTypo, Hospital::Profile::kCityTypo,
+      Hospital::Profile::kCitySwap, Hospital::Profile::kZipBoundary,
+      Hospital::Profile::kStateTypo, Hospital::Profile::kStreetTypo,
+  };
+  const std::size_t num_dirty_profiles =
+      sizeof(kDirtyProfiles) / sizeof(kDirtyProfiles[0]);
+
+  std::size_t dirty_index = 0;
+  for (std::size_t i = 0; i < options.count; ++i) {
+    Hospital h;
+    const std::string& city =
+        directory.cities[i % directory.cities.size()];
+    h.city = city;
+    const std::vector<std::string>& streets =
+        directory.streets_by_city.at(city);
+    h.street = streets[rng.NextBounded(streets.size())];
+    h.zip = directory.ZipOfStreet(h.street, h.city);
+    h.name = city + " Medical Center " + std::to_string(i + 1);
+
+    if (rng.NextDouble() < options.clean_fraction) {
+      h.profile = Hospital::Profile::kClean;
+      h.error_rate = 0.0;
+    } else {
+      h.profile = kDirtyProfiles[dirty_index % num_dirty_profiles];
+      ++dirty_index;
+      h.error_rate = 0.25 + 0.35 * rng.NextDouble();
+      if (h.profile == Hospital::Profile::kCitySwap) {
+        // A consistent wrong city: the operator keeps picking the same
+        // neighboring entry from a drop-down.
+        std::string wrong = city;
+        while (wrong == city) {
+          wrong = directory.cities[rng.NextBounded(directory.cities.size())];
+        }
+        h.wrong_city = wrong;
+      }
+    }
+    hospitals.push_back(std::move(h));
+  }
+  return hospitals;
+}
+
+std::vector<double> HospitalVolumeWeights(std::size_t count, double skew) {
+  std::vector<double> weights(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    weights[i] = 1.0 / std::pow(static_cast<double>(i + 1), skew);
+  }
+  return weights;
+}
+
+}  // namespace gdr

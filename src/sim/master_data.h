@@ -1,0 +1,91 @@
+#ifndef GDR_SIM_MASTER_DATA_H_
+#define GDR_SIM_MASTER_DATA_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace gdr {
+
+/// One (zip, city, state) entry of the address master directory.
+struct ZipEntry {
+  std::string zip;
+  std::string city;
+  std::string state;
+};
+
+/// The clean "world" Dataset 1 is sampled from: an Indiana-flavored
+/// address directory with the functional semantics the paper's rules
+/// encode — a zip determines its city and state, and a (street, city)
+/// pair determines its zip. Cities may span several zips; streets are
+/// partitioned among a city's zips so that STR,CT → ZIP holds exactly.
+///
+/// Every structure is built deterministically (no Rng): the directory is
+/// part of the experiment definition, not of its randomness.
+struct MasterDirectory {
+  std::vector<ZipEntry> zips;
+  std::vector<std::string> cities;
+  // city -> streets in that city.
+  std::unordered_map<std::string, std::vector<std::string>> streets_by_city;
+  // "street|city" -> zip (the ground-truth STR,CT → ZIP function).
+  std::unordered_map<std::string, std::string> zip_of_street;
+  // zip -> the neighboring zip used by the boundary-confusion error
+  // pattern ("hospitals located on the boundary between two zip codes").
+  std::unordered_map<std::string, std::string> boundary_partner;
+
+  const ZipEntry& EntryForZip(const std::string& zip) const;
+  std::string ZipOfStreet(const std::string& street,
+                          const std::string& city) const;
+
+  /// The canonical directory: ~24 cities, ~46 zips, 10 streets per city.
+  static MasterDirectory BuildIndiana();
+};
+
+/// The recurrent-mistake source model: each hospital's data-entry pipeline
+/// corrupts patient addresses in its own characteristic way (the paper's
+/// "SRC = H2 ⇒ CT is usually wrong" pattern, Section 1.1).
+struct Hospital {
+  enum class Profile : std::uint8_t {
+    kClean = 0,       // no systematic errors
+    kCityTypo = 1,    // city name mangled by keyboard noise
+    kCitySwap = 2,    // city replaced by one specific wrong city
+    kZipBoundary = 3, // zip replaced by the true zip's boundary partner
+    kStateTypo = 4,   // state spelled out / mistyped
+    kStreetTypo = 5,  // street mangled (mostly undetectable by the rules)
+  };
+
+  std::string name;
+  std::string city;
+  std::string street;
+  std::string zip;
+  Profile profile = Profile::kClean;
+  /// Probability that a record entered at this hospital is corrupted.
+  double error_rate = 0.0;
+  /// For kCitySwap: the specific wrong city this operator keeps typing.
+  std::string wrong_city;
+};
+
+const char* HospitalProfileName(Hospital::Profile profile);
+
+struct HospitalFleetOptions {
+  std::size_t count = 74;  // the paper's 74 hospitals
+  /// Fraction of hospitals with a clean entry pipeline.
+  double clean_fraction = 0.4;
+  std::uint64_t seed = 13;
+};
+
+/// Builds the hospital fleet over `directory` with a deterministic mix of
+/// error profiles and rates (rates drawn in [0.35, 0.8]).
+std::vector<Hospital> BuildHospitals(const MasterDirectory& directory,
+                                     const HospitalFleetOptions& options);
+
+/// Zipf-like visit-volume weights (weight_i ∝ 1/(i+1)^skew) producing the
+/// widely varying group sizes that distinguish Dataset 1 (Section 5.1).
+std::vector<double> HospitalVolumeWeights(std::size_t count, double skew);
+
+}  // namespace gdr
+
+#endif  // GDR_SIM_MASTER_DATA_H_

@@ -1,0 +1,29 @@
+#include "sim/oracle.h"
+
+namespace gdr {
+
+UserOracle::UserOracle(const Table* ground_truth, UserOracleOptions options)
+    : ground_truth_(ground_truth), options_(options), rng_(options.seed) {}
+
+Feedback UserOracle::GetFeedback(const Table& table, const Update& update) {
+  ++feedback_given_;
+  const std::string& truth = ground_truth_->at(update.row, update.attr);
+  const std::string& suggested =
+      table.dict(update.attr).ToString(update.value);
+  if (suggested == truth) return Feedback::kConfirm;
+  if (table.at(update.row, update.attr) == truth) return Feedback::kRetain;
+  return Feedback::kReject;
+}
+
+std::optional<std::string> UserOracle::SuggestValue(const Table& table,
+                                                    const Update& update) {
+  (void)table;
+  if (options_.volunteer_probability <= 0.0 ||
+      !rng_.NextBernoulli(options_.volunteer_probability)) {
+    return std::nullopt;
+  }
+  ++values_volunteered_;
+  return ground_truth_->at(update.row, update.attr);
+}
+
+}  // namespace gdr

@@ -1,0 +1,50 @@
+#ifndef GDR_SIM_ORACLE_H_
+#define GDR_SIM_ORACLE_H_
+
+#include <cstdint>
+
+#include "core/feedback_provider.h"
+#include "util/rng.h"
+
+namespace gdr {
+
+struct UserOracleOptions {
+  /// Probability that, after rejecting a suggestion, the simulated user
+  /// volunteers the correct value (Section 4.2's v' feedback). The paper's
+  /// simulation answers strictly from ground truth; 0 disables
+  /// volunteering and matches the conservative reading.
+  double volunteer_probability = 0.0;
+  std::uint64_t seed = 7;
+};
+
+/// The simulated user of Section 5: "we simulated user feedback to
+/// suggested updates by providing answers as determined by the ground
+/// truth". For an update ⟨t, A, v⟩:
+///   * confirm — v equals the ground-truth value of t[A];
+///   * retain  — the current t[A] already equals the ground truth;
+///   * reject  — otherwise (v is wrong and so is the current value).
+class UserOracle : public FeedbackProvider {
+ public:
+  /// `ground_truth` is non-owning; same schema/rows as the repaired table.
+  explicit UserOracle(const Table* ground_truth,
+                      UserOracleOptions options = {});
+
+  Feedback GetFeedback(const Table& table, const Update& update) override;
+
+  std::optional<std::string> SuggestValue(const Table& table,
+                                          const Update& update) override;
+
+  std::size_t feedback_given() const { return feedback_given_; }
+  std::size_t values_volunteered() const { return values_volunteered_; }
+
+ private:
+  const Table* ground_truth_;
+  UserOracleOptions options_;
+  Rng rng_;
+  std::size_t feedback_given_ = 0;
+  std::size_t values_volunteered_ = 0;
+};
+
+}  // namespace gdr
+
+#endif  // GDR_SIM_ORACLE_H_

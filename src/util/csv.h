@@ -1,0 +1,34 @@
+#ifndef GDR_UTIL_CSV_H_
+#define GDR_UTIL_CSV_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/result.h"
+#include "util/status.h"
+
+namespace gdr {
+
+/// Minimal RFC-4180-ish CSV support: comma separator, double-quote quoting,
+/// escaped quotes by doubling. Sufficient for the example applications and
+/// for persisting generated datasets; not a general-purpose CSV engine.
+
+/// Splits one CSV record into fields. Fails on an unterminated quoted field.
+Result<std::vector<std::string>> ParseCsvLine(std::string_view line);
+
+/// Serializes fields into one CSV record (no trailing newline), quoting any
+/// field containing a comma, quote, or newline.
+std::string FormatCsvLine(const std::vector<std::string>& fields);
+
+/// Reads a whole CSV file into rows of fields. Empty lines are skipped.
+Result<std::vector<std::vector<std::string>>> ReadCsvFile(
+    const std::string& path);
+
+/// Writes rows to `path`, overwriting it.
+Status WriteCsvFile(const std::string& path,
+                    const std::vector<std::vector<std::string>>& rows);
+
+}  // namespace gdr
+
+#endif  // GDR_UTIL_CSV_H_

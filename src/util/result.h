@@ -1,0 +1,83 @@
+#ifndef GDR_UTIL_RESULT_H_
+#define GDR_UTIL_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "util/status.h"
+
+namespace gdr {
+
+/// Result<T> holds either a value of type T or a non-OK Status, in the style
+/// of arrow::Result. It is the return type of fallible operations that
+/// produce a value.
+///
+/// Usage:
+///   Result<Table> t = Table::FromCsv(path);
+///   if (!t.ok()) return t.status();
+///   Use(t.ValueOrDie());
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value or from an error Status keeps call
+  /// sites terse (`return value;` / `return Status::NotFound(...);`).
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(repr_).ok() &&
+           "Result must not be constructed from an OK status");
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// Returns the carried status: OK when a value is present.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(repr_);
+  }
+
+  const T& ValueOrDie() const& {
+    assert(ok() && "ValueOrDie called on an error Result");
+    return std::get<T>(repr_);
+  }
+  T& ValueOrDie() & {
+    assert(ok() && "ValueOrDie called on an error Result");
+    return std::get<T>(repr_);
+  }
+  T&& ValueOrDie() && {
+    assert(ok() && "ValueOrDie called on an error Result");
+    return std::get<T>(std::move(repr_));
+  }
+
+  /// Shorthand operators for the common access pattern.
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  std::variant<Status, T> repr_;
+};
+
+}  // namespace gdr
+
+/// Assigns the value of a Result expression to `lhs`, or propagates its
+/// error Status. Usable in functions returning Status or Result<U>.
+#define GDR_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                              \
+  if (!tmp.ok()) return tmp.status();             \
+  lhs = std::move(tmp).ValueOrDie()
+
+#define GDR_ASSIGN_OR_RETURN_CONCAT(a, b) a##b
+#define GDR_ASSIGN_OR_RETURN_NAME(a, b) GDR_ASSIGN_OR_RETURN_CONCAT(a, b)
+
+#define GDR_ASSIGN_OR_RETURN(lhs, expr) \
+  GDR_ASSIGN_OR_RETURN_IMPL(            \
+      GDR_ASSIGN_OR_RETURN_NAME(_gdr_result_, __LINE__), lhs, expr)
+
+#endif  // GDR_UTIL_RESULT_H_

@@ -1,0 +1,94 @@
+#ifndef GDR_UTIL_STATUS_H_
+#define GDR_UTIL_STATUS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace gdr {
+
+/// Error categories used across the library. The set is deliberately small:
+/// GDR is a library, so the caller usually only needs to distinguish
+/// programmer errors (kInvalidArgument), missing entities (kNotFound), and
+/// broken internal invariants (kInternal).
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kOutOfRange = 4,
+  kFailedPrecondition = 5,
+  kInternal = 6,
+  kIOError = 7,
+};
+
+/// Returns a human-readable name for `code` ("OK", "InvalidArgument", ...).
+std::string_view StatusCodeName(StatusCode code);
+
+/// A lightweight success/error carrier, modeled after the Status idiom used
+/// by Arrow and RocksDB. The library does not use exceptions; every fallible
+/// operation returns a Status (or a Result<T>, see result.h).
+///
+/// The OK state carries no allocation.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+}  // namespace gdr
+
+/// Propagates a non-OK Status to the caller. Usable only in functions that
+/// themselves return Status.
+#define GDR_RETURN_NOT_OK(expr)            \
+  do {                                     \
+    ::gdr::Status _st = (expr);            \
+    if (!_st.ok()) return _st;             \
+  } while (false)
+
+#endif  // GDR_UTIL_STATUS_H_

@@ -1,0 +1,29 @@
+#ifndef GDR_UTIL_STOPWATCH_H_
+#define GDR_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace gdr {
+
+/// Wall-clock stopwatch for the benchmark harnesses.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace gdr
+
+#endif  // GDR_UTIL_STOPWATCH_H_

@@ -1,0 +1,29 @@
+#ifndef GDR_UTIL_STRING_SIMILARITY_H_
+#define GDR_UTIL_STRING_SIMILARITY_H_
+
+#include <cstddef>
+#include <string_view>
+
+namespace gdr {
+
+/// Levenshtein edit distance between `a` and `b` (unit costs for insert,
+/// delete, substitute). O(|a|*|b|) time, O(min(|a|,|b|)) space.
+std::size_t EditDistance(std::string_view a, std::string_view b);
+
+/// The update evaluation function of the paper (Eq. 7):
+///   sim(v, v') = 1 - dist(v, v') / max(|v|, |v'|)
+/// Returns a value in [0, 1]; two empty strings are maximally similar (1).
+double NormalizedEditSimilarity(std::string_view a, std::string_view b);
+
+/// Jaro-Winkler similarity in [0, 1]. Used as an alternative relationship
+/// function R(t[A], v) for ML features; favors strings sharing a prefix,
+/// which matches the data-entry-typo error model.
+double JaroWinklerSimilarity(std::string_view a, std::string_view b);
+
+/// Case-insensitive ASCII equality; CFD matching in this library is
+/// case-sensitive, but generators and examples use this for lookups.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+}  // namespace gdr
+
+#endif  // GDR_UTIL_STRING_SIMILARITY_H_

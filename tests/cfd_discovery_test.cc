@@ -1,0 +1,232 @@
+#include "sim/cfd_discovery.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace gdr {
+namespace {
+
+TEST(CfdDiscoveryTest, FindsPlantedDependency) {
+  Schema schema = *Schema::Make({"occupation", "workclass"});
+  Table table(schema);
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(table.AppendRow({"Sales", "Private"}).ok());
+    ASSERT_TRUE(table.AppendRow({"Adm-clerical", "Government"}).ok());
+  }
+  auto rules = DiscoverConstantCfds(table, {0, 1}, {});
+  ASSERT_TRUE(rules.ok());
+  // Both directions are deterministic here: 4 rules total.
+  EXPECT_EQ(rules->size(), 4u);
+  bool found = false;
+  for (std::size_t i = 0; i < rules->size(); ++i) {
+    const Cfd& rule = rules->rule(static_cast<RuleId>(i));
+    if (rule.lhs()[0].attr == 0 && *rule.lhs()[0].constant == "Sales") {
+      EXPECT_EQ(*rule.rhs().constant, "Private");
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(CfdDiscoveryTest, SupportThresholdFiltersRareValues) {
+  Schema schema = *Schema::Make({"A", "B"});
+  Table table(schema);
+  for (int i = 0; i < 99; ++i) {
+    ASSERT_TRUE(table.AppendRow({"common", "x"}).ok());
+  }
+  ASSERT_TRUE(table.AppendRow({"rare", "y"}).ok());
+  CfdDiscoveryOptions options;
+  options.min_support = 0.05;  // "rare" has 1% support
+  auto rules = DiscoverConstantCfds(table, {0, 1}, options);
+  ASSERT_TRUE(rules.ok());
+  for (std::size_t i = 0; i < rules->size(); ++i) {
+    EXPECT_NE(*rules->rule(static_cast<RuleId>(i)).lhs()[0].constant, "rare");
+  }
+}
+
+TEST(CfdDiscoveryTest, ConfidenceThresholdToleratesNoise) {
+  Schema schema = *Schema::Make({"A", "B"});
+  Table table(schema);
+  // 90% of "a" tuples agree on "b1" — discovered at confidence 0.85,
+  // rejected at 0.95.
+  for (int i = 0; i < 90; ++i) ASSERT_TRUE(table.AppendRow({"a", "b1"}).ok());
+  for (int i = 0; i < 10; ++i) ASSERT_TRUE(table.AppendRow({"a", "b2"}).ok());
+
+  CfdDiscoveryOptions loose;
+  loose.min_confidence = 0.85;
+  auto with_loose = DiscoverConstantCfds(table, {0, 1}, loose);
+  ASSERT_TRUE(with_loose.ok());
+  bool found = false;
+  for (std::size_t i = 0; i < with_loose->size(); ++i) {
+    const Cfd& rule = with_loose->rule(static_cast<RuleId>(i));
+    if (rule.lhs()[0].attr == 0 && rule.rhs().attr == 1) {
+      EXPECT_EQ(*rule.rhs().constant, "b1");
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+
+  CfdDiscoveryOptions strict;
+  strict.min_confidence = 0.95;
+  auto with_strict = DiscoverConstantCfds(table, {0, 1}, strict);
+  ASSERT_TRUE(with_strict.ok());
+  for (std::size_t i = 0; i < with_strict->size(); ++i) {
+    const Cfd& rule = with_strict->rule(static_cast<RuleId>(i));
+    EXPECT_FALSE(rule.lhs()[0].attr == 0 && rule.rhs().attr == 1);
+  }
+}
+
+TEST(CfdDiscoveryTest, NoRulesFromIndependentAttributes) {
+  Schema schema = *Schema::Make({"A", "B"});
+  Table table(schema);
+  Rng rng(3);
+  for (int i = 0; i < 400; ++i) {
+    ASSERT_TRUE(table
+                    .AppendRow({"a" + std::to_string(rng.NextBounded(4)),
+                                "b" + std::to_string(rng.NextBounded(4))})
+                    .ok());
+  }
+  auto rules = DiscoverConstantCfds(table, {0, 1}, {});
+  ASSERT_TRUE(rules.ok());
+  EXPECT_EQ(rules->size(), 0u);
+}
+
+TEST(CfdDiscoveryTest, ValidatesOptions) {
+  Schema schema = *Schema::Make({"A", "B"});
+  Table table(schema);
+  CfdDiscoveryOptions bad;
+  bad.min_support = 0.0;
+  EXPECT_FALSE(DiscoverConstantCfds(table, {0, 1}, bad).ok());
+  bad = {};
+  bad.min_confidence = 1.5;
+  EXPECT_FALSE(DiscoverConstantCfds(table, {0, 1}, bad).ok());
+}
+
+TEST(CfdDiscoveryTest, EmptyTableYieldsNoRules) {
+  Schema schema = *Schema::Make({"A", "B"});
+  Table table(schema);
+  auto rules = DiscoverConstantCfds(table, {0, 1}, {});
+  ASSERT_TRUE(rules.ok());
+  EXPECT_EQ(rules->size(), 0u);
+}
+
+TEST(FdDiscoveryTest, FindsPlantedFunctionalDependency) {
+  Schema schema = *Schema::Make({"STR", "CT", "ZIP"});
+  Table table(schema);
+  const char* streets[] = {"Main St", "Oak Ave", "Elm Rd"};
+  const char* cities[] = {"Fort Wayne", "Westville"};
+  Rng rng(3);
+  for (int i = 0; i < 300; ++i) {
+    const int s = static_cast<int>(rng.NextBounded(3));
+    const int c = static_cast<int>(rng.NextBounded(2));
+    // zip is a function of (street, city).
+    ASSERT_TRUE(table
+                    .AppendRow({streets[s], cities[c],
+                                "4" + std::to_string(1000 + s * 10 + c)})
+                    .ok());
+  }
+  auto rules = DiscoverVariableCfds(table, {0, 1, 2}, {});
+  ASSERT_TRUE(rules.ok());
+  bool found = false;
+  for (std::size_t i = 0; i < rules->size(); ++i) {
+    const Cfd& rule = rules->rule(static_cast<RuleId>(i));
+    if (rule.IsVariable() && rule.rhs().attr == 2 &&
+        rule.lhs().size() == 2) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found) << "expected STR, CT -> ZIP to be discovered";
+}
+
+TEST(FdDiscoveryTest, SingleAttributeFdPreferredByMinimality) {
+  Schema schema = *Schema::Make({"A", "B", "C"});
+  Table table(schema);
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    const int a = static_cast<int>(rng.NextBounded(4));
+    // b = f(a); c independent.
+    ASSERT_TRUE(table
+                    .AppendRow({"a" + std::to_string(a),
+                                "b" + std::to_string(a % 3),
+                                "c" + std::to_string(rng.NextBounded(5))})
+                    .ok());
+  }
+  auto rules = DiscoverVariableCfds(table, {0, 1, 2}, {});
+  ASSERT_TRUE(rules.ok());
+  bool single = false;
+  for (std::size_t i = 0; i < rules->size(); ++i) {
+    const Cfd& rule = rules->rule(static_cast<RuleId>(i));
+    if (rule.rhs().attr == 1) {
+      // A -> B must appear with the minimal LHS, never as {A, C} -> B.
+      EXPECT_EQ(rule.lhs().size(), 1u);
+      if (rule.lhs().size() == 1 && rule.lhs()[0].attr == 0) single = true;
+    }
+  }
+  EXPECT_TRUE(single);
+}
+
+TEST(FdDiscoveryTest, NearKeyLhsIsPruned) {
+  Schema schema = *Schema::Make({"Id", "B"});
+  Table table(schema);
+  for (int i = 0; i < 200; ++i) {
+    // Id is unique: Id -> B holds vacuously but has no pair coverage.
+    ASSERT_TRUE(table
+                    .AppendRow({"id" + std::to_string(i),
+                                "b" + std::to_string(i % 3)})
+                    .ok());
+  }
+  auto rules = DiscoverVariableCfds(table, {0, 1}, {});
+  ASSERT_TRUE(rules.ok());
+  for (std::size_t i = 0; i < rules->size(); ++i) {
+    EXPECT_NE(rules->rule(static_cast<RuleId>(i)).lhs()[0].attr, 0);
+  }
+}
+
+TEST(FdDiscoveryTest, ConfidenceToleratesDirtyMinority) {
+  Schema schema = *Schema::Make({"A", "B"});
+  Table table(schema);
+  // A -> B holds for 95% of tuples within each group.
+  Rng rng(9);
+  for (int i = 0; i < 400; ++i) {
+    const int a = static_cast<int>(rng.NextBounded(2));
+    const bool noise = rng.NextBernoulli(0.05);
+    ASSERT_TRUE(table
+                    .AppendRow({"a" + std::to_string(a),
+                                noise ? "junk" + std::to_string(i)
+                                      : "b" + std::to_string(a)})
+                    .ok());
+  }
+  FdDiscoveryOptions options;
+  options.min_confidence = 0.9;
+  auto rules = DiscoverVariableCfds(table, {0, 1}, options);
+  ASSERT_TRUE(rules.ok());
+  bool found = false;
+  for (std::size_t i = 0; i < rules->size(); ++i) {
+    const Cfd& rule = rules->rule(static_cast<RuleId>(i));
+    if (rule.lhs()[0].attr == 0 && rule.rhs().attr == 1) found = true;
+  }
+  EXPECT_TRUE(found);
+
+  options.min_confidence = 0.99;
+  auto strict = DiscoverVariableCfds(table, {0, 1}, options);
+  ASSERT_TRUE(strict.ok());
+  for (std::size_t i = 0; i < strict->size(); ++i) {
+    const Cfd& rule = strict->rule(static_cast<RuleId>(i));
+    EXPECT_FALSE(rule.lhs()[0].attr == 0 && rule.rhs().attr == 1);
+  }
+}
+
+TEST(FdDiscoveryTest, ValidatesOptions) {
+  Schema schema = *Schema::Make({"A", "B"});
+  Table table(schema);
+  FdDiscoveryOptions bad;
+  bad.min_confidence = 0.0;
+  EXPECT_FALSE(DiscoverVariableCfds(table, {0, 1}, bad).ok());
+  bad = {};
+  bad.max_lhs = 3;
+  EXPECT_FALSE(DiscoverVariableCfds(table, {0, 1}, bad).ok());
+}
+
+}  // namespace
+}  // namespace gdr

@@ -1,0 +1,121 @@
+#include "cfd/cfd.h"
+
+#include <gtest/gtest.h>
+
+namespace gdr {
+namespace {
+
+Schema CustomerSchema() {
+  return *Schema::Make({"Name", "SRC", "STR", "CT", "STT", "ZIP"});
+}
+
+TEST(CfdTest, AddRuleFromStringConstant) {
+  RuleSet rules(CustomerSchema());
+  ASSERT_TRUE(rules
+                  .AddRuleFromString(
+                      "phi1", "ZIP=46360 -> CT=Michigan City ; STT=IN")
+                  .ok());
+  // Multi-RHS normalizes into two rules.
+  ASSERT_EQ(rules.size(), 2u);
+  EXPECT_EQ(rules.rule(0).name(), "phi1.1");
+  EXPECT_EQ(rules.rule(1).name(), "phi1.2");
+  EXPECT_TRUE(rules.rule(0).IsConstant());
+  EXPECT_EQ(*rules.rule(0).rhs().constant, "Michigan City");
+  EXPECT_EQ(*rules.rule(1).rhs().constant, "IN");
+  ASSERT_EQ(rules.rule(0).lhs().size(), 1u);
+  EXPECT_EQ(*rules.rule(0).lhs()[0].constant, "46360");
+}
+
+TEST(CfdTest, AddRuleFromStringVariable) {
+  RuleSet rules(CustomerSchema());
+  ASSERT_TRUE(rules.AddRuleFromString("phi5", "STR, CT=Fort Wayne -> ZIP")
+                  .ok());
+  ASSERT_EQ(rules.size(), 1u);
+  const Cfd& rule = rules.rule(0);
+  EXPECT_TRUE(rule.IsVariable());
+  EXPECT_EQ(rule.name(), "phi5");  // single RHS keeps the name
+  ASSERT_EQ(rule.lhs().size(), 2u);
+  EXPECT_FALSE(rule.lhs()[0].is_constant());  // STR is a wildcard
+  EXPECT_EQ(*rule.lhs()[1].constant, "Fort Wayne");
+}
+
+TEST(CfdTest, ParserRejectsMalformed) {
+  RuleSet rules(CustomerSchema());
+  EXPECT_FALSE(rules.AddRuleFromString("bad", "no arrow here").ok());
+  EXPECT_FALSE(rules.AddRuleFromString("bad", "Unknown=1 -> CT=x").ok());
+  EXPECT_FALSE(rules.AddRuleFromString("bad", " -> CT=x").ok());
+}
+
+TEST(CfdTest, AddRuleValidatesStructure) {
+  RuleSet rules(CustomerSchema());
+  // RHS attribute repeated in LHS.
+  EXPECT_FALSE(rules.AddRuleFromString("bad", "CT=Fort Wayne -> CT=x").ok());
+  // Out-of-range attribute id.
+  EXPECT_FALSE(
+      rules.AddRule("bad", {PatternCell{99, std::nullopt}},
+                    {PatternCell{2, std::nullopt}})
+          .ok());
+  // Empty RHS.
+  EXPECT_FALSE(rules.AddRule("bad", {PatternCell{0, std::nullopt}}, {}).ok());
+}
+
+TEST(CfdTest, MentionsAndLhsContains) {
+  RuleSet rules(CustomerSchema());
+  ASSERT_TRUE(rules.AddRuleFromString("phi5", "STR, CT=Fort Wayne -> ZIP")
+                  .ok());
+  const Cfd& rule = rules.rule(0);
+  const Schema& schema = rules.schema();
+  EXPECT_TRUE(rule.LhsContains(schema.FindAttr("STR")));
+  EXPECT_TRUE(rule.LhsContains(schema.FindAttr("CT")));
+  EXPECT_FALSE(rule.LhsContains(schema.FindAttr("ZIP")));
+  EXPECT_TRUE(rule.Mentions(schema.FindAttr("ZIP")));
+  EXPECT_FALSE(rule.Mentions(schema.FindAttr("Name")));
+}
+
+TEST(CfdTest, RulesMentioningIndex) {
+  RuleSet rules(CustomerSchema());
+  ASSERT_TRUE(rules
+                  .AddRuleFromString("phi1",
+                                     "ZIP=46360 -> CT=Michigan City ; STT=IN")
+                  .ok());
+  ASSERT_TRUE(rules.AddRuleFromString("phi5", "STR, CT=Fort Wayne -> ZIP")
+                  .ok());
+  const Schema& schema = rules.schema();
+  // ZIP is mentioned by all three normal-form rules.
+  EXPECT_EQ(rules.RulesMentioning(schema.FindAttr("ZIP")).size(), 3u);
+  // CT by phi1.1 and phi5.
+  EXPECT_EQ(rules.RulesMentioning(schema.FindAttr("CT")).size(), 2u);
+  // STT only by phi1.2.
+  EXPECT_EQ(rules.RulesMentioning(schema.FindAttr("STT")).size(), 1u);
+  // Name by nothing.
+  EXPECT_TRUE(rules.RulesMentioning(schema.FindAttr("Name")).empty());
+  // Out-of-range attr is safe.
+  EXPECT_TRUE(rules.RulesMentioning(kInvalidAttrId).empty());
+}
+
+TEST(CfdTest, ToStringRendersPatterns) {
+  RuleSet rules(CustomerSchema());
+  ASSERT_TRUE(rules.AddRuleFromString("phi5", "STR, CT=Fort Wayne -> ZIP")
+                  .ok());
+  EXPECT_EQ(rules.rule(0).ToString(rules.schema()),
+            "phi5: (STR, CT=Fort Wayne -> ZIP)");
+}
+
+TEST(CfdTest, AllRuleIds) {
+  RuleSet rules(CustomerSchema());
+  ASSERT_TRUE(rules.AddRuleFromString("a", "ZIP=1 -> CT=x").ok());
+  ASSERT_TRUE(rules.AddRuleFromString("b", "ZIP=2 -> CT=y").ok());
+  EXPECT_EQ(rules.AllRuleIds(), (std::vector<RuleId>{0, 1}));
+}
+
+TEST(CfdTest, ValuesWithSpacesAndTrimming) {
+  RuleSet rules(CustomerSchema());
+  ASSERT_TRUE(
+      rules.AddRuleFromString("phi", "  ZIP = 46360  ->  CT = Michigan City ")
+          .ok());
+  EXPECT_EQ(*rules.rule(0).lhs()[0].constant, "46360");
+  EXPECT_EQ(*rules.rule(0).rhs().constant, "Michigan City");
+}
+
+}  // namespace
+}  // namespace gdr

@@ -1,0 +1,237 @@
+#include "repair/consistency_manager.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace gdr {
+namespace {
+
+class ManagerFixture : public ::testing::Test {
+ protected:
+  ManagerFixture()
+      : schema_(*Schema::Make({"STR", "CT", "STT", "ZIP"})), table_(schema_),
+        rules_(schema_) {}
+
+  void Append(const char* str, const char* ct, const char* stt,
+              const char* zip) {
+    ASSERT_TRUE(table_.AppendRow({str, ct, stt, zip}).ok());
+  }
+
+  void Build() {
+    index_ = std::make_unique<ViolationIndex>(&table_, &rules_);
+    generator_ =
+        std::make_unique<UpdateGenerator>(index_.get(), &table_, &state_);
+    manager_ = std::make_unique<ConsistencyManager>(
+        index_.get(), &pool_, &state_, generator_.get());
+  }
+
+  Schema schema_;
+  Table table_;
+  RuleSet rules_;
+  RepairState state_;
+  UpdatePool pool_;
+  std::unique_ptr<ViolationIndex> index_;
+  std::unique_ptr<UpdateGenerator> generator_;
+  std::unique_ptr<ConsistencyManager> manager_;
+};
+
+TEST_F(ManagerFixture, InitializeSeedsPoolAndDirtySet) {
+  ASSERT_TRUE(
+      rules_.AddRuleFromString("phi1", "ZIP=46360 -> CT=Michigan City").ok());
+  Append("Main St", "Wrong City", "IN", "46360");
+  Append("Main St", "Michigan City", "IN", "46360");
+  Build();
+  EXPECT_EQ(manager_->Initialize(), 1u);
+  EXPECT_TRUE(manager_->IsDirty(0));
+  EXPECT_FALSE(manager_->IsDirty(1));
+  // A suggestion exists for the dirty city cell.
+  const AttrId ct = schema_.FindAttr("CT");
+  EXPECT_TRUE(pool_.Contains(CellKey{0, ct}));
+}
+
+TEST_F(ManagerFixture, ConfirmAppliesAndCleans) {
+  ASSERT_TRUE(
+      rules_.AddRuleFromString("phi1", "ZIP=46360 -> CT=Michigan City").ok());
+  Append("Main St", "Wrong City", "IN", "46360");
+  Build();
+  manager_->Initialize();
+  const AttrId ct = schema_.FindAttr("CT");
+  const Update update = *pool_.Get(CellKey{0, ct});
+
+  const std::vector<AppliedChange> changes =
+      manager_->ApplyFeedback(update, Feedback::kConfirm);
+  ASSERT_EQ(changes.size(), 1u);
+  EXPECT_FALSE(changes[0].forced);
+  EXPECT_EQ(table_.at(0, ct), "Michigan City");
+  EXPECT_FALSE(manager_->HasDirtyRows());
+  EXPECT_TRUE(pool_.empty());
+  // Confirmed cells are frozen.
+  EXPECT_FALSE(state_.IsChangeable(CellKey{0, ct}));
+}
+
+TEST_F(ManagerFixture, RejectPreventsAndRegenerates) {
+  ASSERT_TRUE(rules_.AddRuleFromString("phi5", "STR, CT -> ZIP").ok());
+  Append("Main St", "Fort Wayne", "IN", "46802");
+  Append("Main St", "Fort Wayne", "IN", "46803");
+  Append("Main St", "Fort Wayne", "IN", "46804");
+  Build();
+  manager_->Initialize();
+  const AttrId zip = schema_.FindAttr("ZIP");
+  const Update first = *pool_.Get(CellKey{2, zip});
+
+  EXPECT_TRUE(manager_->ApplyFeedback(first, Feedback::kReject).empty());
+  EXPECT_TRUE(state_.IsPrevented(CellKey{2, zip}, first.value));
+  // A different suggestion replaces the rejected one.
+  const auto second = pool_.Get(CellKey{2, zip});
+  ASSERT_TRUE(second.has_value());
+  EXPECT_NE(second->value, first.value);
+}
+
+TEST_F(ManagerFixture, RetainFreezesCell) {
+  ASSERT_TRUE(
+      rules_.AddRuleFromString("phi1", "ZIP=46360 -> CT=Michigan City").ok());
+  Append("Main St", "Wrong City", "IN", "46360");
+  Build();
+  manager_->Initialize();
+  const AttrId ct = schema_.FindAttr("CT");
+  const Update update = *pool_.Get(CellKey{0, ct});
+  manager_->ApplyFeedback(update, Feedback::kRetain);
+  EXPECT_FALSE(pool_.Contains(CellKey{0, ct}));
+  EXPECT_FALSE(state_.IsChangeable(CellKey{0, ct}));
+  // Still dirty: the rule is violated but the cell is now untouchable.
+  EXPECT_TRUE(manager_->IsDirty(0));
+}
+
+TEST_F(ManagerFixture, ForcedCascadeOnFrozenLhs) {
+  // Step 3(a)i: when every LHS cell of a violated constant rule is
+  // confirmed, the RHS is entailed and applied automatically.
+  ASSERT_TRUE(
+      rules_.AddRuleFromString("phi1", "ZIP=46360 -> CT=Michigan City").ok());
+  ASSERT_TRUE(rules_.AddRuleFromString("phi2", "ZIP=46391 -> CT=Westville")
+                  .ok());
+  Append("Main St", "Westville", "IN", "46391");  // clean
+  Append("Main St", "Westville", "IN", "46360");  // zip surely wrong
+  Build();
+  manager_->Initialize();
+  const AttrId zip = schema_.FindAttr("ZIP");
+  const AttrId ct = schema_.FindAttr("CT");
+
+  // The user confirms t1's zip really is 46360. The cell value does not
+  // change, but the freeze completes phi1's evidence: the LHS is frozen,
+  // the rule is still violated, so CT := 'Michigan City' is entailed and
+  // cascades (step 3(a)i applied to the freeze).
+  std::vector<AppliedChange> changes =
+      manager_->ApplyUserValue(1, zip, table_.InternValue(zip, "46360"));
+  ASSERT_EQ(changes.size(), 1u);
+  EXPECT_TRUE(changes[0].forced);
+  EXPECT_EQ(table_.at(1, ct), "Michigan City");
+  EXPECT_FALSE(manager_->IsDirty(1));
+}
+
+TEST_F(ManagerFixture, ForcedCascadeAppliesRhsConstant) {
+  ASSERT_TRUE(
+      rules_.AddRuleFromString("phi1", "ZIP=46360 -> CT=Michigan City").ok());
+  Append("Main St", "Wrong City", "IN", "46391");
+  Build();
+  manager_->Initialize();
+  const AttrId zip = schema_.FindAttr("ZIP");
+  const AttrId ct = schema_.FindAttr("CT");
+  // Clean row (no violations yet). The user explicitly sets the zip to
+  // 46360 — now phi1 is violated, its LHS (the zip) is frozen by the
+  // confirmation, and CT must cascade to the pattern constant.
+  std::vector<AppliedChange> changes =
+      manager_->ApplyUserValue(0, zip, table_.InternValue(zip, "46360"));
+  ASSERT_EQ(changes.size(), 2u);
+  EXPECT_TRUE(changes[1].forced);
+  EXPECT_EQ(table_.at(0, ct), "Michigan City");
+  EXPECT_FALSE(manager_->HasDirtyRows());
+}
+
+TEST_F(ManagerFixture, VariableRulePartnersRevisited) {
+  ASSERT_TRUE(rules_.AddRuleFromString("phi5", "STR, CT -> ZIP").ok());
+  Append("Main St", "Fort Wayne", "IN", "46802");
+  Append("Main St", "Fort Wayne", "IN", "46802");
+  Append("Main St", "Fort Wayne", "IN", "46803");  // outlier
+  Build();
+  manager_->Initialize();
+  const AttrId zip = schema_.FindAttr("ZIP");
+  // All three are dirty; pool suggests fixing the outlier to the majority.
+  EXPECT_EQ(manager_->dirty_count(), 3u);
+  const Update fix = *pool_.Get(CellKey{2, zip});
+  manager_->ApplyFeedback(fix, Feedback::kConfirm);
+  // Everyone is clean, and the partner suggestions were retired.
+  EXPECT_FALSE(manager_->HasDirtyRows());
+  EXPECT_FALSE(pool_.Contains(CellKey{0, zip}));
+  EXPECT_FALSE(pool_.Contains(CellKey{1, zip}));
+}
+
+// Invariant property test (Appendix A.5): after an arbitrary feedback
+// sequence, (i) the dirty set equals the index's dirty rows, and (ii) no
+// pooled update is stale (its cell generates the same suggestion afresh).
+class ManagerInvariantTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ManagerInvariantTest, InvariantsHoldUnderRandomFeedback) {
+  Schema schema = *Schema::Make({"STR", "CT", "STT", "ZIP"});
+  Table table(schema);
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const char* streets[] = {"Main St", "Oak Ave"};
+  const char* cities[] = {"Fort Wayne", "Westville", "Michigan Cty"};
+  const char* zips[] = {"46825", "46391", "46360"};
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_TRUE(table
+                    .AppendRow({streets[rng.NextBounded(2)],
+                                cities[rng.NextBounded(3)], "IN",
+                                zips[rng.NextBounded(3)]})
+                    .ok());
+  }
+  RuleSet rules(schema);
+  ASSERT_TRUE(rules.AddRuleFromString("c1", "ZIP=46360 -> CT=Michigan City")
+                  .ok());
+  ASSERT_TRUE(rules.AddRuleFromString("c2", "ZIP=46391 -> CT=Westville").ok());
+  ASSERT_TRUE(rules.AddRuleFromString("v1", "STR, CT -> ZIP").ok());
+
+  ViolationIndex index(&table, &rules);
+  RepairState state;
+  UpdatePool pool;
+  UpdateGenerator generator(&index, &table, &state);
+  ConsistencyManager manager(&index, &pool, &state, &generator);
+  manager.Initialize();
+
+  for (int step = 0; step < 120 && !pool.empty(); ++step) {
+    const std::vector<Update> all = pool.All();
+    const Update& update = all[rng.NextBounded(all.size())];
+    const Feedback feedback = static_cast<Feedback>(rng.NextBounded(3));
+    manager.ApplyFeedback(update, feedback);
+
+    // Invariant (i): dirty set matches ground reality.
+    EXPECT_EQ(manager.DirtyRows(), index.DirtyRows());
+  }
+
+  // Invariant (ii), as the paper's RevisitList actually guarantees it:
+  // every pooled update targets a changeable cell, suggests a value that
+  // is neither the current one nor prevented, and is justified by a rule
+  // the row still violates. (Scenario-3 suggestions may additionally
+  // depend on projection buckets that drift when unrelated rows change;
+  // like the paper, those are re-validated lazily when consumed, not
+  // eagerly revisited.)
+  for (const Update& update : pool.All()) {
+    const CellKey cell = update.cell();
+    EXPECT_TRUE(state.IsChangeable(cell));
+    EXPECT_FALSE(state.IsPrevented(cell, update.value));
+    EXPECT_NE(update.value, table.id_at(update.row, update.attr));
+    bool justified = false;
+    for (RuleId rid : index.ViolatedRules(update.row)) {
+      if (rules.rule(rid).Mentions(update.attr)) {
+        justified = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(justified) << "row " << update.row << " attr " << update.attr;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ManagerInvariantTest, ::testing::Range(1, 11));
+
+}  // namespace
+}  // namespace gdr

@@ -1,0 +1,89 @@
+#include "util/csv.h"
+
+#include <cstdio>
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+namespace gdr {
+namespace {
+
+TEST(CsvTest, ParseSimpleLine) {
+  auto fields = ParseCsvLine("a,b,c");
+  ASSERT_TRUE(fields.ok());
+  EXPECT_EQ(*fields, (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(CsvTest, ParseEmptyFields) {
+  auto fields = ParseCsvLine(",x,");
+  ASSERT_TRUE(fields.ok());
+  EXPECT_EQ(*fields, (std::vector<std::string>{"", "x", ""}));
+}
+
+TEST(CsvTest, ParseQuotedFieldWithComma) {
+  auto fields = ParseCsvLine("\"Michigan City, IN\",46360");
+  ASSERT_TRUE(fields.ok());
+  EXPECT_EQ((*fields)[0], "Michigan City, IN");
+  EXPECT_EQ((*fields)[1], "46360");
+}
+
+TEST(CsvTest, ParseEscapedQuote) {
+  auto fields = ParseCsvLine("\"say \"\"hi\"\"\",b");
+  ASSERT_TRUE(fields.ok());
+  EXPECT_EQ((*fields)[0], "say \"hi\"");
+}
+
+TEST(CsvTest, UnterminatedQuoteFails) {
+  auto fields = ParseCsvLine("\"oops,b");
+  EXPECT_FALSE(fields.ok());
+  EXPECT_EQ(fields.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CsvTest, FormatQuotesWhenNeeded) {
+  EXPECT_EQ(FormatCsvLine({"a", "b"}), "a,b");
+  EXPECT_EQ(FormatCsvLine({"a,b"}), "\"a,b\"");
+  EXPECT_EQ(FormatCsvLine({"say \"hi\""}), "\"say \"\"hi\"\"\"");
+}
+
+class CsvRoundTripTest
+    : public ::testing::TestWithParam<std::vector<std::string>> {};
+
+TEST_P(CsvRoundTripTest, FormatThenParseIsIdentity) {
+  const std::vector<std::string>& fields = GetParam();
+  auto parsed = ParseCsvLine(FormatCsvLine(fields));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, fields);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, CsvRoundTripTest,
+    ::testing::Values(std::vector<std::string>{"plain"},
+                      std::vector<std::string>{"with,comma", "x"},
+                      std::vector<std::string>{"with \"quote\"", ""},
+                      std::vector<std::string>{"", "", ""},
+                      std::vector<std::string>{"newline\ninside", "y"},
+                      std::vector<std::string>{"Fort Wayne", "46802", "IN"}));
+
+TEST(CsvTest, FileRoundTrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "gdr_csv_test.csv").string();
+  const std::vector<std::vector<std::string>> rows = {
+      {"Name", "City", "Zip"},
+      {"A, Person", "Michigan City", "46360"},
+      {"B \"Quoted\"", "Westville", "46391"},
+  };
+  ASSERT_TRUE(WriteCsvFile(path, rows).ok());
+  auto read = ReadCsvFile(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, rows);
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, ReadMissingFileFails) {
+  auto read = ReadCsvFile("/nonexistent/path/file.csv");
+  EXPECT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace gdr

@@ -1,0 +1,108 @@
+#include "sim/dataset1.h"
+
+#include <gtest/gtest.h>
+
+#include "cfd/violation_index.h"
+
+namespace gdr {
+namespace {
+
+TEST(Dataset1Test, SchemaMatchesPaperAttributeSubset) {
+  Dataset dataset = *GenerateDataset1({.num_records = 200, .seed = 1});
+  EXPECT_EQ(dataset.clean.schema().attribute_names(),
+            (std::vector<std::string>{
+                "PatientID", "Age", "Sex", "Classification", "Complaint",
+                "HospitalName", "StreetAddress", "City", "Zip", "State",
+                "VisitDate"}));
+  EXPECT_EQ(dataset.clean.num_rows(), 200u);
+  EXPECT_EQ(dataset.dirty.num_rows(), 200u);
+}
+
+TEST(Dataset1Test, CleanInstanceSatisfiesAllRules) {
+  Dataset dataset = *GenerateDataset1({.num_records = 2000, .seed = 2});
+  Table clean = dataset.clean;
+  ViolationIndex index(&clean, &dataset.rules);
+  EXPECT_EQ(index.TotalViolations(), 0);
+  EXPECT_TRUE(index.DirtyRows().empty());
+}
+
+TEST(Dataset1Test, DirtyFractionNearThirtyPercent) {
+  Dataset dataset = *GenerateDataset1({.num_records = 5000, .seed = 3});
+  const double fraction =
+      static_cast<double>(dataset.corrupted_tuples) / 5000.0;
+  EXPECT_GT(fraction, 0.18);
+  EXPECT_LT(fraction, 0.42);
+}
+
+TEST(Dataset1Test, CorruptionIsDetectableMostly) {
+  Dataset dataset = *GenerateDataset1({.num_records = 3000, .seed = 4});
+  Table dirty = dataset.dirty;
+  ViolationIndex index(&dirty, &dataset.rules);
+  // Dirty rows include corrupted tuples plus their variable-rule partners.
+  EXPECT_GT(index.DirtyRows().size(), dataset.corrupted_tuples / 2);
+}
+
+TEST(Dataset1Test, ErrorScaleZeroMeansClean) {
+  Dataset1Options options;
+  options.num_records = 500;
+  options.error_scale = 0.0;
+  Dataset dataset = *GenerateDataset1(options);
+  EXPECT_EQ(dataset.corrupted_tuples, 0u);
+  auto diff = dataset.clean.CountDifferingCells(dataset.dirty);
+  ASSERT_TRUE(diff.ok());
+  EXPECT_EQ(*diff, 0u);
+}
+
+TEST(Dataset1Test, DeterministicPerSeed) {
+  Dataset a = *GenerateDataset1({.num_records = 300, .seed = 5});
+  Dataset b = *GenerateDataset1({.num_records = 300, .seed = 5});
+  auto clean_diff = a.clean.CountDifferingCells(b.clean);
+  auto dirty_diff = a.dirty.CountDifferingCells(b.dirty);
+  EXPECT_EQ(*clean_diff, 0u);
+  EXPECT_EQ(*dirty_diff, 0u);
+  EXPECT_EQ(a.rules.size(), b.rules.size());
+}
+
+TEST(Dataset1Test, DifferentSeedsProduceDifferentData) {
+  Dataset a = *GenerateDataset1({.num_records = 300, .seed = 6});
+  Dataset b = *GenerateDataset1({.num_records = 300, .seed = 7});
+  auto diff = a.clean.CountDifferingCells(b.clean);
+  ASSERT_TRUE(diff.ok());
+  EXPECT_GT(*diff, 0u);
+}
+
+TEST(Dataset1Test, RuleFamilyShape) {
+  Dataset dataset = *GenerateDataset1({.num_records = 100, .seed = 8});
+  // One variable rule (street, city -> zip); the rest constant zip rules.
+  std::size_t variable = 0;
+  std::size_t constant = 0;
+  for (std::size_t i = 0; i < dataset.rules.size(); ++i) {
+    if (dataset.rules.rule(static_cast<RuleId>(i)).IsVariable()) {
+      ++variable;
+    } else {
+      ++constant;
+    }
+  }
+  EXPECT_EQ(variable, 1u);
+  EXPECT_GE(constant, 80u);  // >= 40 zips x 2 normal-form rules
+}
+
+TEST(Dataset1Test, GroupSizesVaryWidely) {
+  // The defining Dataset 1 property for Figure 3: hospital volumes are
+  // Zipf-skewed, so per-hospital record counts span orders of magnitude.
+  Dataset dataset = *GenerateDataset1({.num_records = 5000, .seed = 9});
+  const AttrId hospital = dataset.clean.schema().FindAttr("HospitalName");
+  std::size_t max_count = 0;
+  std::size_t min_count = 5000;
+  for (std::size_t v = 0; v < dataset.clean.DomainSize(hospital); ++v) {
+    const auto count = static_cast<std::size_t>(
+        dataset.clean.ValueCount(hospital, static_cast<ValueId>(v)));
+    if (count == 0) continue;
+    max_count = std::max(max_count, count);
+    min_count = std::min(min_count, count);
+  }
+  EXPECT_GT(max_count, 10 * std::max<std::size_t>(min_count, 1));
+}
+
+}  // namespace
+}  // namespace gdr

@@ -1,0 +1,95 @@
+#include "sim/dataset2.h"
+
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "cfd/violation_index.h"
+
+namespace gdr {
+namespace {
+
+TEST(Dataset2Test, SchemaMatchesPaperAttributeSubset) {
+  Dataset dataset = *GenerateDataset2({.num_records = 200, .seed = 1});
+  EXPECT_EQ(dataset.clean.schema().attribute_names(),
+            (std::vector<std::string>{
+                "education", "hours_per_week", "income", "marital_status",
+                "native_country", "occupation", "race", "relationship",
+                "sex", "workclass"}));
+}
+
+TEST(Dataset2Test, CleanInstanceRespectsPlantedDependencies) {
+  Dataset dataset = *GenerateDataset2({.num_records = 2000, .seed = 2});
+  const Schema& schema = dataset.clean.schema();
+  const AttrId occupation = schema.FindAttr("occupation");
+  const AttrId workclass = schema.FindAttr("workclass");
+  const AttrId relationship = schema.FindAttr("relationship");
+  const AttrId marital = schema.FindAttr("marital_status");
+
+  // occupation -> workclass and relationship -> marital_status must be
+  // functions on the clean instance.
+  std::map<std::string, std::string> occ_to_work;
+  std::map<std::string, std::string> rel_to_marital;
+  for (std::size_t r = 0; r < dataset.clean.num_rows(); ++r) {
+    const RowId row = static_cast<RowId>(r);
+    const std::string& occ = dataset.clean.at(row, occupation);
+    const std::string& work = dataset.clean.at(row, workclass);
+    auto [it, inserted] = occ_to_work.emplace(occ, work);
+    if (!inserted) EXPECT_EQ(it->second, work) << occ;
+    const std::string& rel = dataset.clean.at(row, relationship);
+    const std::string& mar = dataset.clean.at(row, marital);
+    auto [jt, jinserted] = rel_to_marital.emplace(rel, mar);
+    if (!jinserted) EXPECT_EQ(jt->second, mar) << rel;
+  }
+  EXPECT_EQ(occ_to_work.size(), 10u);
+  EXPECT_EQ(rel_to_marital.size(), 6u);
+}
+
+TEST(Dataset2Test, DiscoveredRulesHoldOnCleanData) {
+  Dataset dataset = *GenerateDataset2({.num_records = 4000, .seed = 3});
+  ASSERT_GT(dataset.rules.size(), 20u);
+  Table clean = dataset.clean;
+  ViolationIndex index(&clean, &dataset.rules);
+  // Discovery ran on the dirty instance with confidence < 1, so the rules
+  // must be (essentially) exact on the clean instance.
+  EXPECT_EQ(index.TotalViolations(), 0);
+}
+
+TEST(Dataset2Test, DirtyFractionNearTarget) {
+  Dataset dataset = *GenerateDataset2({.num_records = 5000, .seed = 4});
+  EXPECT_NEAR(static_cast<double>(dataset.corrupted_tuples) / 5000.0, 0.3,
+              0.04);
+}
+
+TEST(Dataset2Test, DirtyInstanceViolatesRules) {
+  Dataset dataset = *GenerateDataset2({.num_records = 3000, .seed = 5});
+  Table dirty = dataset.dirty;
+  ViolationIndex index(&dirty, &dataset.rules);
+  EXPECT_GT(index.TotalViolations(), 0);
+  // Most corrupted tuples are detectable thanks to the bidirectional
+  // dependency structure.
+  EXPECT_GT(index.DirtyRows().size(), dataset.corrupted_tuples / 2);
+}
+
+TEST(Dataset2Test, DeterministicPerSeed) {
+  Dataset a = *GenerateDataset2({.num_records = 400, .seed = 6});
+  Dataset b = *GenerateDataset2({.num_records = 400, .seed = 6});
+  EXPECT_EQ(*a.dirty.CountDifferingCells(b.dirty), 0u);
+  EXPECT_EQ(a.rules.size(), b.rules.size());
+}
+
+TEST(Dataset2Test, SupportThresholdShapesRuleCount) {
+  Dataset2Options tight;
+  tight.num_records = 3000;
+  tight.seed = 7;
+  tight.discovery.min_support = 0.2;  // only very frequent LHS values
+  Dataset few = *GenerateDataset2(tight);
+
+  Dataset2Options loose = tight;
+  loose.discovery.min_support = 0.05;
+  Dataset many = *GenerateDataset2(loose);
+  EXPECT_GT(many.rules.size(), few.rules.size());
+}
+
+}  // namespace
+}  // namespace gdr

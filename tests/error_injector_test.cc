@@ -1,0 +1,122 @@
+#include "sim/error_injector.h"
+
+#include <gtest/gtest.h>
+
+namespace gdr {
+namespace {
+
+TEST(PerturbCharactersTest, AlwaysChangesNonEmpty) {
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    const std::string original = "Fort Wayne";
+    EXPECT_NE(PerturbCharacters(original, &rng), original);
+  }
+}
+
+TEST(PerturbCharactersTest, HandlesShortStrings) {
+  Rng rng(5);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_NE(PerturbCharacters("a", &rng), "a");
+    EXPECT_FALSE(PerturbCharacters("", &rng).empty());
+  }
+}
+
+TEST(PerturbCharactersTest, StaysClose) {
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) {
+    const std::string mangled = PerturbCharacters("Michigan City", &rng);
+    // At most 2 edits of 1 char each.
+    EXPECT_LE(mangled.size(), std::string("Michigan City").size() + 2);
+    EXPECT_GE(mangled.size() + 2, std::string("Michigan City").size());
+  }
+}
+
+TEST(DomainSwapTest, PicksDifferentDomainValue) {
+  Schema schema = *Schema::Make({"CT"});
+  Table table(schema);
+  ASSERT_TRUE(table.AppendRow({"A"}).ok());
+  ASSERT_TRUE(table.AppendRow({"B"}).ok());
+  ASSERT_TRUE(table.AppendRow({"C"}).ok());
+  Rng rng(11);
+  for (int i = 0; i < 50; ++i) {
+    const std::string swapped = DomainSwap(table, 0, "A", &rng);
+    EXPECT_NE(swapped, "A");
+    EXPECT_TRUE(swapped == "B" || swapped == "C");
+  }
+}
+
+TEST(DomainSwapTest, FallsBackOnSingletonDomain) {
+  Schema schema = *Schema::Make({"CT"});
+  Table table(schema);
+  ASSERT_TRUE(table.AppendRow({"Only"}).ok());
+  Rng rng(13);
+  EXPECT_NE(DomainSwap(table, 0, "Only", &rng), "Only");
+}
+
+class InjectRateTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(InjectRateTest, DirtyFractionApproximatesTarget) {
+  Schema schema = *Schema::Make({"A", "B"});
+  Table table(schema);
+  for (int i = 0; i < 3000; ++i) {
+    ASSERT_TRUE(table.AppendRow({"alpha" + std::to_string(i % 7),
+                                 "beta" + std::to_string(i % 5)})
+                    .ok());
+  }
+  Table clean = table;
+  RandomErrorOptions options;
+  options.dirty_tuple_fraction = GetParam();
+  options.seed = 17;
+  const std::size_t corrupted = InjectRandomErrors(&table, {0, 1}, options);
+  EXPECT_NEAR(static_cast<double>(corrupted) / 3000.0, GetParam(), 0.04);
+  // Every corrupted tuple actually differs from the clean version.
+  std::size_t differing_rows = 0;
+  for (std::size_t r = 0; r < table.num_rows(); ++r) {
+    for (std::size_t a = 0; a < 2; ++a) {
+      if (!table.CellEquals(static_cast<RowId>(r), static_cast<AttrId>(a),
+                            clean)) {
+        ++differing_rows;
+        break;
+      }
+    }
+  }
+  EXPECT_EQ(differing_rows, corrupted);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, InjectRateTest,
+                         ::testing::Values(0.1, 0.3, 0.5));
+
+TEST(InjectRandomErrorsTest, ZeroFractionIsNoOp) {
+  Schema schema = *Schema::Make({"A"});
+  Table table(schema);
+  ASSERT_TRUE(table.AppendRow({"x"}).ok());
+  RandomErrorOptions options;
+  options.dirty_tuple_fraction = 0.0;
+  EXPECT_EQ(InjectRandomErrors(&table, {0}, options), 0u);
+  EXPECT_EQ(table.at(0, 0), "x");
+}
+
+TEST(InjectRandomErrorsTest, DeterministicPerSeed) {
+  Schema schema = *Schema::Make({"A", "B"});
+  auto build = [&schema]() {
+    Table t(schema);
+    for (int i = 0; i < 500; ++i) {
+      EXPECT_TRUE(
+          t.AppendRow({"v" + std::to_string(i % 9), "w" + std::to_string(i % 4)})
+              .ok());
+    }
+    return t;
+  };
+  Table a = build();
+  Table b = build();
+  RandomErrorOptions options;
+  options.seed = 23;
+  InjectRandomErrors(&a, {0, 1}, options);
+  InjectRandomErrors(&b, {0, 1}, options);
+  auto diff = a.CountDifferingCells(b);
+  ASSERT_TRUE(diff.ok());
+  EXPECT_EQ(*diff, 0u);
+}
+
+}  // namespace
+}  // namespace gdr

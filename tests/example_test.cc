@@ -1,0 +1,45 @@
+#include "ml/example.h"
+
+#include <gtest/gtest.h>
+
+namespace gdr {
+namespace {
+
+FeatureSchema TwoFeatureSchema() {
+  return FeatureSchema({{"cat", FeatureType::kCategorical},
+                        {"num", FeatureType::kNumeric}});
+}
+
+TEST(TrainingSetTest, AddValidatesArity) {
+  TrainingSet set(TwoFeatureSchema(), 2);
+  EXPECT_TRUE(set.Add({{1.0, 0.5}, 0}).ok());
+  EXPECT_FALSE(set.Add({{1.0}, 0}).ok());
+  EXPECT_FALSE(set.Add({{1.0, 2.0, 3.0}, 0}).ok());
+}
+
+TEST(TrainingSetTest, AddValidatesLabelRange) {
+  TrainingSet set(TwoFeatureSchema(), 2);
+  EXPECT_FALSE(set.Add({{1.0, 0.5}, -1}).ok());
+  EXPECT_FALSE(set.Add({{1.0, 0.5}, 2}).ok());
+  EXPECT_TRUE(set.Add({{1.0, 0.5}, 1}).ok());
+}
+
+TEST(TrainingSetTest, ClassCounts) {
+  TrainingSet set(TwoFeatureSchema(), 3);
+  ASSERT_TRUE(set.Add({{0.0, 0.0}, 0}).ok());
+  ASSERT_TRUE(set.Add({{0.0, 0.0}, 2}).ok());
+  ASSERT_TRUE(set.Add({{0.0, 0.0}, 2}).ok());
+  EXPECT_EQ(set.ClassCounts(), (std::vector<std::size_t>{1, 0, 2}));
+  EXPECT_EQ(set.size(), 3u);
+}
+
+TEST(FeatureSchemaTest, TypePredicates) {
+  FeatureSchema schema = TwoFeatureSchema();
+  EXPECT_TRUE(schema.IsCategorical(0));
+  EXPECT_FALSE(schema.IsCategorical(1));
+  EXPECT_EQ(schema.feature(0).name, "cat");
+  EXPECT_EQ(schema.num_features(), 2u);
+}
+
+}  // namespace
+}  // namespace gdr

@@ -1,0 +1,98 @@
+#include "sim/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/dataset1.h"
+#include "sim/dataset2.h"
+
+namespace gdr {
+namespace {
+
+Dataset TinyDataset() {
+  return *GenerateDataset1({.num_records = 600, .seed = 33});
+}
+
+TEST(ExperimentTest, RunsAndReportsCurve) {
+  Dataset dataset = TinyDataset();
+  ExperimentConfig config;
+  config.strategy = Strategy::kGdrNoLearning;
+  config.feedback_budget = 100;
+  config.sample_every = 10;
+  auto result = RunStrategyExperiment(dataset, config);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->strategy_name, "GDR-NoLearning");
+  ASSERT_GE(result->curve.size(), 2u);
+  EXPECT_EQ(result->curve.front().feedback, 0u);
+  EXPECT_GT(result->initial_loss, 0.0);
+  // Curve feedback counts are non-decreasing.
+  for (std::size_t i = 1; i < result->curve.size(); ++i) {
+    EXPECT_GE(result->curve[i].feedback, result->curve[i - 1].feedback);
+  }
+  EXPECT_LE(result->stats.user_feedback, 100u);
+}
+
+TEST(ExperimentTest, DoesNotMutateDataset) {
+  Dataset dataset = TinyDataset();
+  const Table dirty_before = dataset.dirty;
+  ExperimentConfig config;
+  config.feedback_budget = 50;
+  ASSERT_TRUE(RunStrategyExperiment(dataset, config).ok());
+  EXPECT_EQ(*dataset.dirty.CountDifferingCells(dirty_before), 0u);
+}
+
+TEST(ExperimentTest, FinalImprovementMatchesLossDrop) {
+  Dataset dataset = TinyDataset();
+  ExperimentConfig config;
+  config.feedback_budget = 120;
+  auto result = RunStrategyExperiment(dataset, config);
+  ASSERT_TRUE(result.ok());
+  const double expected =
+      100.0 * (result->initial_loss - result->final_loss) /
+      result->initial_loss;
+  EXPECT_NEAR(result->final_improvement_pct, expected, 1e-9);
+}
+
+TEST(ExperimentTest, HeuristicBaselineRuns) {
+  Dataset dataset = TinyDataset();
+  auto result = RunHeuristicExperiment(dataset);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->strategy_name, "Automatic-Heuristic");
+  EXPECT_EQ(result->stats.user_feedback, 0u);  // no user involved
+  EXPECT_GT(result->final_improvement_pct, 0.0);
+  EXPECT_GT(result->accuracy.updated_cells, 0u);
+}
+
+TEST(ExperimentTest, DeterministicPerSeed) {
+  Dataset dataset = TinyDataset();
+  ExperimentConfig config;
+  config.feedback_budget = 80;
+  config.seed = 5;
+  auto a = RunStrategyExperiment(dataset, config);
+  auto b = RunStrategyExperiment(dataset, config);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->stats.user_feedback, b->stats.user_feedback);
+  EXPECT_DOUBLE_EQ(a->final_loss, b->final_loss);
+  EXPECT_DOUBLE_EQ(a->accuracy.Precision(), b->accuracy.Precision());
+}
+
+TEST(ExperimentTest, FormatCurveNormalizes) {
+  std::vector<CurvePoint> curve = {{0, 0.0, 1.0}, {50, 40.0, 0.6}};
+  const std::string text = FormatCurve(curve, 100.0);
+  EXPECT_NE(text.find("50\t40"), std::string::npos);
+  // Zero denominator is safe.
+  EXPECT_FALSE(FormatCurve(curve, 0.0).empty());
+}
+
+TEST(ExperimentTest, WorksOnDataset2) {
+  Dataset dataset = *GenerateDataset2({.num_records = 800, .seed = 44});
+  ExperimentConfig config;
+  config.strategy = Strategy::kGdr;
+  config.feedback_budget = 150;
+  auto result = RunStrategyExperiment(dataset, config);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->final_improvement_pct, 0.0);
+}
+
+}  // namespace
+}  // namespace gdr

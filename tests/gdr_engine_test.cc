@@ -1,0 +1,175 @@
+#include "core/gdr.h"
+
+#include <gtest/gtest.h>
+
+#include "core/quality.h"
+#include "sim/dataset1.h"
+#include "sim/oracle.h"
+
+namespace gdr {
+namespace {
+
+Dataset SmallDataset() {
+  return *GenerateDataset1({.num_records = 800, .seed = 21});
+}
+
+TEST(GdrEngineTest, RunRequiresInitialize) {
+  Dataset dataset = SmallDataset();
+  Table working = dataset.dirty;
+  UserOracle oracle(&dataset.clean);
+  GdrEngine engine(&working, &dataset.rules, &oracle);
+  EXPECT_EQ(engine.Run().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(GdrEngineTest, InitializeIsSingleShot) {
+  Dataset dataset = SmallDataset();
+  Table working = dataset.dirty;
+  UserOracle oracle(&dataset.clean);
+  GdrEngine engine(&working, &dataset.rules, &oracle);
+  ASSERT_TRUE(engine.Initialize().ok());
+  EXPECT_EQ(engine.Initialize().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(GdrEngineTest, InitializeReportsDirtyCountAndWeights) {
+  Dataset dataset = SmallDataset();
+  Table working = dataset.dirty;
+  UserOracle oracle(&dataset.clean);
+  GdrEngine engine(&working, &dataset.rules, &oracle);
+  ASSERT_TRUE(engine.Initialize().ok());
+  EXPECT_GT(engine.stats().initial_dirty, 0u);
+  EXPECT_EQ(engine.rule_weights().size(), dataset.rules.size());
+  for (double w : engine.rule_weights()) {
+    EXPECT_GE(w, 0.0);
+    EXPECT_LE(w, 1.0);
+  }
+  EXPECT_FALSE(engine.pool().empty());
+}
+
+TEST(GdrEngineTest, RespectsFeedbackBudget) {
+  Dataset dataset = SmallDataset();
+  Table working = dataset.dirty;
+  UserOracle oracle(&dataset.clean);
+  GdrOptions options;
+  options.feedback_budget = 60;
+  GdrEngine engine(&working, &dataset.rules, &oracle, options);
+  ASSERT_TRUE(engine.Initialize().ok());
+  ASSERT_TRUE(engine.Run().ok());
+  EXPECT_LE(engine.stats().user_feedback, 60u);
+}
+
+TEST(GdrEngineTest, StatsAreInternallyConsistent) {
+  Dataset dataset = SmallDataset();
+  Table working = dataset.dirty;
+  UserOracle oracle(&dataset.clean);
+  GdrOptions options;
+  options.feedback_budget = 150;
+  GdrEngine engine(&working, &dataset.rules, &oracle, options);
+  ASSERT_TRUE(engine.Initialize().ok());
+  ASSERT_TRUE(engine.Run().ok());
+  const GdrStats& stats = engine.stats();
+  EXPECT_EQ(stats.user_feedback,
+            stats.user_confirms + stats.user_rejects + stats.user_retains);
+  EXPECT_GE(stats.learner_decisions, stats.learner_confirms);
+  EXPECT_EQ(stats.user_feedback, oracle.feedback_given());
+}
+
+TEST(GdrEngineTest, CallbackSeesMonotoneFeedbackCounts) {
+  Dataset dataset = SmallDataset();
+  Table working = dataset.dirty;
+  UserOracle oracle(&dataset.clean);
+  GdrOptions options;
+  options.feedback_budget = 100;
+  GdrEngine engine(&working, &dataset.rules, &oracle, options);
+  ASSERT_TRUE(engine.Initialize().ok());
+  std::size_t last = 0;
+  ASSERT_TRUE(engine
+                  .Run([&last](const GdrEngine&, std::size_t feedback) {
+                    EXPECT_GE(feedback, last);
+                    last = feedback;
+                  })
+                  .ok());
+  EXPECT_EQ(last, engine.stats().user_feedback);
+}
+
+TEST(GdrEngineTest, QualityImprovesUnderOracle) {
+  Dataset dataset = SmallDataset();
+  Table working = dataset.dirty;
+  UserOracle oracle(&dataset.clean);
+  GdrOptions options;
+  options.feedback_budget = 300;
+  GdrEngine engine(&working, &dataset.rules, &oracle, options);
+  ASSERT_TRUE(engine.Initialize().ok());
+  QualityEvaluator evaluator(dataset.clean, &dataset.rules,
+                             engine.rule_weights());
+  const double initial = evaluator.Loss(engine.index());
+  ASSERT_TRUE(engine.Run().ok());
+  EXPECT_LT(evaluator.Loss(engine.index()), initial);
+}
+
+TEST(GdrEngineTest, DeterministicForSameSeed) {
+  Dataset dataset = SmallDataset();
+  GdrOptions options;
+  options.feedback_budget = 120;
+  options.seed = 77;
+
+  auto run = [&](Table* working) {
+    UserOracle oracle(&dataset.clean);
+    GdrEngine engine(working, &dataset.rules, &oracle, options);
+    EXPECT_TRUE(engine.Initialize().ok());
+    EXPECT_TRUE(engine.Run().ok());
+    return engine.stats();
+  };
+  Table wa = dataset.dirty;
+  Table wb = dataset.dirty;
+  const GdrStats sa = run(&wa);
+  const GdrStats sb = run(&wb);
+  EXPECT_EQ(sa.user_feedback, sb.user_feedback);
+  EXPECT_EQ(sa.user_confirms, sb.user_confirms);
+  EXPECT_EQ(sa.learner_decisions, sb.learner_decisions);
+  EXPECT_EQ(*wa.CountDifferingCells(wb), 0u);
+}
+
+TEST(GdrEngineTest, NoLearningNeverUsesLearner) {
+  Dataset dataset = SmallDataset();
+  Table working = dataset.dirty;
+  UserOracle oracle(&dataset.clean);
+  GdrOptions options;
+  options.strategy = Strategy::kGdrNoLearning;
+  options.feedback_budget = 200;
+  GdrEngine engine(&working, &dataset.rules, &oracle, options);
+  ASSERT_TRUE(engine.Initialize().ok());
+  ASSERT_TRUE(engine.Run().ok());
+  EXPECT_EQ(engine.stats().learner_decisions, 0u);
+}
+
+TEST(GdrEngineTest, UserOnlyStrategiesApplyOnlyConfirmedValues) {
+  // With a ground-truth oracle and no learner, every applied change must
+  // be correct: precision 1.0 by construction.
+  Dataset dataset = SmallDataset();
+  for (Strategy strategy : {Strategy::kGdrNoLearning, Strategy::kGreedy,
+                            Strategy::kRandomRanking}) {
+    Table working = dataset.dirty;
+    UserOracle oracle(&dataset.clean);
+    GdrOptions options;
+    options.strategy = strategy;
+    options.feedback_budget = 150;
+    GdrEngine engine(&working, &dataset.rules, &oracle, options);
+    ASSERT_TRUE(engine.Initialize().ok());
+    ASSERT_TRUE(engine.Run().ok());
+    auto acc = ComputeRepairAccuracy(dataset.dirty, working, dataset.clean);
+    ASSERT_TRUE(acc.ok());
+    EXPECT_DOUBLE_EQ(acc->Precision(), 1.0) << StrategyName(strategy);
+  }
+}
+
+TEST(GdrEngineTest, StrategyNames) {
+  EXPECT_STREQ(StrategyName(Strategy::kGdr), "GDR");
+  EXPECT_STREQ(StrategyName(Strategy::kGdrSLearning), "GDR-S-Learning");
+  EXPECT_STREQ(StrategyName(Strategy::kGdrNoLearning), "GDR-NoLearning");
+  EXPECT_STREQ(StrategyName(Strategy::kActiveLearning), "Active-Learning");
+  EXPECT_STREQ(StrategyName(Strategy::kGreedy), "Greedy");
+  EXPECT_STREQ(StrategyName(Strategy::kRandomRanking), "Random");
+}
+
+}  // namespace
+}  // namespace gdr

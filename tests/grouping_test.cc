@@ -1,0 +1,84 @@
+#include "core/grouping.h"
+
+#include <gtest/gtest.h>
+
+namespace gdr {
+namespace {
+
+TEST(GroupingTest, GroupsByAttributeAndValue) {
+  UpdatePool pool;
+  pool.Upsert({/*row=*/0, /*attr=*/1, /*value=*/7, /*score=*/0.9});
+  pool.Upsert({/*row=*/1, /*attr=*/1, /*value=*/7, /*score=*/0.8});
+  pool.Upsert({/*row=*/2, /*attr=*/1, /*value=*/9, /*score=*/0.7});
+  pool.Upsert({/*row=*/3, /*attr=*/2, /*value=*/7, /*score=*/0.6});
+
+  const std::vector<UpdateGroup> groups = GroupUpdates(pool);
+  ASSERT_EQ(groups.size(), 3u);
+  // Deterministic (attr, value) order.
+  EXPECT_EQ(groups[0].attr, 1);
+  EXPECT_EQ(groups[0].value, 7);
+  EXPECT_EQ(groups[0].size(), 2u);
+  EXPECT_EQ(groups[1].attr, 1);
+  EXPECT_EQ(groups[1].value, 9);
+  EXPECT_EQ(groups[2].attr, 2);
+  // Updates within a group are row-ordered.
+  EXPECT_EQ(groups[0].updates[0].row, 0);
+  EXPECT_EQ(groups[0].updates[1].row, 1);
+}
+
+TEST(GroupingTest, EmptyPoolYieldsNoGroups) {
+  UpdatePool pool;
+  EXPECT_TRUE(GroupUpdates(pool).empty());
+}
+
+TEST(GroupingTest, UpsertReplacesCellSuggestion) {
+  UpdatePool pool;
+  pool.Upsert({0, 1, 7, 0.9});
+  pool.Upsert({0, 1, 8, 0.5});  // same cell, new value
+  const std::vector<UpdateGroup> groups = GroupUpdates(pool);
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0].value, 8);
+}
+
+TEST(GroupingTest, ToStringDescribesGroup) {
+  Schema schema = *Schema::Make({"CT"});
+  Table table(schema);
+  ASSERT_TRUE(table.AppendRow({"Fort Wayne"}).ok());
+  const ValueId v = table.InternValue(0, "Michigan City");
+  UpdateGroup group;
+  group.attr = 0;
+  group.value = v;
+  group.updates = {{0, 0, v, 1.0}};
+  EXPECT_EQ(group.ToString(table), "CT := 'Michigan City' (1 updates)");
+}
+
+TEST(UpdatePoolTest, GetRemoveContains) {
+  UpdatePool pool;
+  const Update u{3, 2, 5, 0.4};
+  pool.Upsert(u);
+  EXPECT_TRUE(pool.Contains(u.cell()));
+  auto got = pool.Get(u.cell());
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, u);
+  EXPECT_TRUE(pool.Remove(u.cell()));
+  EXPECT_FALSE(pool.Remove(u.cell()));
+  EXPECT_FALSE(pool.Get(u.cell()).has_value());
+  EXPECT_TRUE(pool.empty());
+}
+
+TEST(UpdatePoolTest, AllIsDeterministicallyOrdered) {
+  UpdatePool pool;
+  pool.Upsert({5, 0, 1, 0.1});
+  pool.Upsert({1, 2, 1, 0.1});
+  pool.Upsert({1, 0, 1, 0.1});
+  const std::vector<Update> all = pool.All();
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0].row, 1);
+  EXPECT_EQ(all[0].attr, 0);
+  EXPECT_EQ(all[1].row, 1);
+  EXPECT_EQ(all[1].attr, 2);
+  EXPECT_EQ(all[2].row, 5);
+}
+
+}  // namespace
+}  // namespace gdr

@@ -1,0 +1,111 @@
+// End-to-end integration tests: the full GDR loop against the simulated
+// user on both workloads, checking the qualitative claims of Section 5 at
+// reduced scale.
+#include <gtest/gtest.h>
+
+#include "sim/dataset1.h"
+#include "sim/dataset2.h"
+#include "sim/experiment.h"
+
+namespace gdr {
+namespace {
+
+class IntegrationFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dataset1_ = new Dataset(*GenerateDataset1({.num_records = 2000,
+                                               .seed = 55}));
+    dataset2_ = new Dataset(*GenerateDataset2({.num_records = 2000,
+                                               .seed = 55}));
+  }
+  static void TearDownTestSuite() {
+    delete dataset1_;
+    dataset1_ = nullptr;
+    delete dataset2_;
+    dataset2_ = nullptr;
+  }
+
+  static ExperimentResult Run(const Dataset& dataset, Strategy strategy,
+                              std::size_t budget) {
+    ExperimentConfig config;
+    config.strategy = strategy;
+    config.feedback_budget = budget;
+    config.seed = 13;
+    auto result = RunStrategyExperiment(dataset, config);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return *result;
+  }
+
+  static Dataset* dataset1_;
+  static Dataset* dataset2_;
+};
+
+Dataset* IntegrationFixture::dataset1_ = nullptr;
+Dataset* IntegrationFixture::dataset2_ = nullptr;
+
+TEST_F(IntegrationFixture, GdrReachesHighQualityWithModestEffort) {
+  const ExperimentResult gdr = Run(*dataset1_, Strategy::kGdr, 600);
+  EXPECT_GT(gdr.final_improvement_pct, 60.0);
+  EXPECT_GT(gdr.accuracy.Precision(), 0.9);
+  EXPECT_GT(gdr.accuracy.Recall(), 0.5);
+}
+
+TEST_F(IntegrationFixture, LearningBeatsNoLearningAtEqualBudget) {
+  const ExperimentResult with = Run(*dataset1_, Strategy::kGdr, 400);
+  const ExperimentResult without =
+      Run(*dataset1_, Strategy::kGdrNoLearning, 400);
+  EXPECT_GT(with.final_improvement_pct, without.final_improvement_pct);
+}
+
+TEST_F(IntegrationFixture, VoiRankingBeatsRandomOnDataset1) {
+  // The Figure 3 claim at reduced scale.
+  const ExperimentResult voi =
+      Run(*dataset1_, Strategy::kGdrNoLearning, 500);
+  const ExperimentResult random =
+      Run(*dataset1_, Strategy::kRandomRanking, 500);
+  EXPECT_GT(voi.final_improvement_pct, random.final_improvement_pct);
+}
+
+TEST_F(IntegrationFixture, GdrBeatsHeuristicGivenEnoughFeedback) {
+  const ExperimentResult gdr =
+      Run(*dataset1_, Strategy::kGdr, static_cast<std::size_t>(-1));
+  auto heuristic = RunHeuristicExperiment(*dataset1_);
+  ASSERT_TRUE(heuristic.ok());
+  EXPECT_GT(gdr.final_improvement_pct, heuristic->final_improvement_pct);
+  // And with far better precision: the heuristic locks in wrong values.
+  EXPECT_GT(gdr.accuracy.Precision(), heuristic->accuracy.Precision());
+}
+
+TEST_F(IntegrationFixture, Dataset2LearnerAlsoConverges) {
+  const ExperimentResult gdr = Run(*dataset2_, Strategy::kGdr, 600);
+  EXPECT_GT(gdr.final_improvement_pct, 60.0);
+  EXPECT_GT(gdr.accuracy.Precision(), 0.85);
+}
+
+TEST_F(IntegrationFixture, UserOnlyStrategiesNeverDamageTheDatabase) {
+  for (Strategy strategy : {Strategy::kGdrNoLearning, Strategy::kGreedy,
+                            Strategy::kRandomRanking}) {
+    const ExperimentResult result = Run(*dataset1_, strategy, 300);
+    EXPECT_DOUBLE_EQ(result.accuracy.Precision(), 1.0)
+        << StrategyName(strategy);
+    EXPECT_GE(result.final_improvement_pct, 0.0) << StrategyName(strategy);
+  }
+}
+
+TEST_F(IntegrationFixture, FullVerificationConvergesTowardClean) {
+  // GDR-NoLearning with unlimited budget: the user verifies everything the
+  // system ever suggests. The remaining violations must collapse to a
+  // small residue (cells whose correct value is never suggested).
+  ExperimentConfig config;
+  config.strategy = Strategy::kGdrNoLearning;
+  config.seed = 13;
+  auto result = RunStrategyExperiment(*dataset1_, config);
+  ASSERT_TRUE(result.ok());
+  Table dirty = dataset1_->dirty;
+  ViolationIndex initial(&dirty, &dataset1_->rules);
+  EXPECT_LT(result->remaining_violations, initial.TotalViolations() / 4);
+  EXPECT_GT(result->final_improvement_pct, 50.0);
+}
+
+}  // namespace
+}  // namespace gdr

@@ -1,0 +1,108 @@
+#include "sim/master_data.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace gdr {
+namespace {
+
+TEST(MasterDirectoryTest, ZipsAreUniqueAndWellFormed) {
+  const MasterDirectory dir = MasterDirectory::BuildIndiana();
+  std::set<std::string> seen;
+  for (const ZipEntry& entry : dir.zips) {
+    EXPECT_EQ(entry.zip.size(), 5u);
+    EXPECT_EQ(entry.state, "IN");
+    EXPECT_FALSE(entry.city.empty());
+    EXPECT_TRUE(seen.insert(entry.zip).second) << "duplicate " << entry.zip;
+  }
+  EXPECT_GE(dir.zips.size(), 40u);
+  EXPECT_GE(dir.cities.size(), 20u);
+}
+
+TEST(MasterDirectoryTest, StreetZipFunctionIsConsistent) {
+  const MasterDirectory dir = MasterDirectory::BuildIndiana();
+  for (const std::string& city : dir.cities) {
+    const auto& streets = dir.streets_by_city.at(city);
+    EXPECT_EQ(streets.size(), 40u);
+    std::set<std::string> unique(streets.begin(), streets.end());
+    EXPECT_EQ(unique.size(), streets.size()) << "duplicate street in " << city;
+    for (const std::string& street : streets) {
+      const std::string zip = dir.ZipOfStreet(street, city);
+      ASSERT_FALSE(zip.empty());
+      // The zip belongs to this city.
+      EXPECT_EQ(dir.EntryForZip(zip).city, city);
+    }
+  }
+}
+
+TEST(MasterDirectoryTest, BoundaryPartnersAreValidAndDistinct) {
+  const MasterDirectory dir = MasterDirectory::BuildIndiana();
+  for (const ZipEntry& entry : dir.zips) {
+    auto it = dir.boundary_partner.find(entry.zip);
+    ASSERT_NE(it, dir.boundary_partner.end())
+        << "no boundary partner for " << entry.zip;
+    EXPECT_NE(it->second, entry.zip);
+    // Partner must itself be a real zip.
+    EXPECT_NO_FATAL_FAILURE(dir.EntryForZip(it->second));
+  }
+}
+
+TEST(BuildHospitalsTest, FleetShapeAndDeterminism) {
+  const MasterDirectory dir = MasterDirectory::BuildIndiana();
+  HospitalFleetOptions options;
+  options.count = 74;
+  options.seed = 13;
+  const std::vector<Hospital> a = BuildHospitals(dir, options);
+  const std::vector<Hospital> b = BuildHospitals(dir, options);
+  ASSERT_EQ(a.size(), 74u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].name, b[i].name);
+    EXPECT_EQ(a[i].profile, b[i].profile);
+    EXPECT_DOUBLE_EQ(a[i].error_rate, b[i].error_rate);
+  }
+}
+
+TEST(BuildHospitalsTest, HospitalsAreInternallyConsistent) {
+  const MasterDirectory dir = MasterDirectory::BuildIndiana();
+  const std::vector<Hospital> fleet = BuildHospitals(dir, {});
+  std::size_t clean = 0;
+  for (const Hospital& h : fleet) {
+    EXPECT_EQ(dir.ZipOfStreet(h.street, h.city), h.zip);
+    if (h.profile == Hospital::Profile::kClean) {
+      ++clean;
+      EXPECT_DOUBLE_EQ(h.error_rate, 0.0);
+    } else {
+      EXPECT_GT(h.error_rate, 0.0);
+      EXPECT_LT(h.error_rate, 1.0);
+    }
+    if (h.profile == Hospital::Profile::kCitySwap) {
+      EXPECT_FALSE(h.wrong_city.empty());
+      EXPECT_NE(h.wrong_city, h.city);
+    }
+  }
+  // Roughly the configured clean fraction.
+  EXPECT_GT(clean, fleet.size() / 5);
+  EXPECT_LT(clean, fleet.size() * 3 / 5);
+}
+
+TEST(HospitalVolumeWeightsTest, ZipfShape) {
+  const std::vector<double> weights = HospitalVolumeWeights(10, 1.0);
+  ASSERT_EQ(weights.size(), 10u);
+  EXPECT_DOUBLE_EQ(weights[0], 1.0);
+  for (std::size_t i = 1; i < weights.size(); ++i) {
+    EXPECT_LT(weights[i], weights[i - 1]);
+  }
+  EXPECT_NEAR(weights[9], 0.1, 1e-12);
+}
+
+TEST(HospitalProfileNameTest, AllNamed) {
+  EXPECT_STREQ(HospitalProfileName(Hospital::Profile::kClean), "clean");
+  EXPECT_STREQ(HospitalProfileName(Hospital::Profile::kZipBoundary),
+               "zip-boundary");
+  EXPECT_STREQ(HospitalProfileName(Hospital::Profile::kCitySwap),
+               "city-swap");
+}
+
+}  // namespace
+}  // namespace gdr

@@ -1,0 +1,86 @@
+#include "sim/oracle.h"
+
+#include <gtest/gtest.h>
+
+namespace gdr {
+namespace {
+
+class OracleFixture : public ::testing::Test {
+ protected:
+  OracleFixture()
+      : schema_(*Schema::Make({"CT", "ZIP"})), truth_(schema_),
+        dirty_(schema_) {
+    EXPECT_TRUE(truth_.AppendRow({"Michigan City", "46360"}).ok());
+    EXPECT_TRUE(truth_.AppendRow({"Westville", "46391"}).ok());
+    dirty_ = truth_;
+    dirty_.Set(0, 0, "Michigan Cty");  // cell (0, CT) is wrong
+  }
+
+  Update Suggest(RowId row, AttrId attr, const char* value) {
+    return Update{row, attr, dirty_.InternValue(attr, value), 0.5};
+  }
+
+  Schema schema_;
+  Table truth_;
+  Table dirty_;
+};
+
+TEST_F(OracleFixture, ConfirmsCorrectSuggestion) {
+  UserOracle oracle(&truth_);
+  EXPECT_EQ(oracle.GetFeedback(dirty_, Suggest(0, 0, "Michigan City")),
+            Feedback::kConfirm);
+}
+
+TEST_F(OracleFixture, RejectsWrongSuggestionForWrongCell) {
+  UserOracle oracle(&truth_);
+  EXPECT_EQ(oracle.GetFeedback(dirty_, Suggest(0, 0, "Fort Wayne")),
+            Feedback::kReject);
+}
+
+TEST_F(OracleFixture, RetainsWhenCurrentValueIsCorrect) {
+  UserOracle oracle(&truth_);
+  EXPECT_EQ(oracle.GetFeedback(dirty_, Suggest(1, 0, "Fort Wayne")),
+            Feedback::kRetain);
+}
+
+TEST_F(OracleFixture, CountsFeedback) {
+  UserOracle oracle(&truth_);
+  oracle.GetFeedback(dirty_, Suggest(0, 0, "Michigan City"));
+  oracle.GetFeedback(dirty_, Suggest(1, 0, "Fort Wayne"));
+  EXPECT_EQ(oracle.feedback_given(), 2u);
+}
+
+TEST_F(OracleFixture, NeverVolunteersByDefault) {
+  UserOracle oracle(&truth_);
+  EXPECT_FALSE(
+      oracle.SuggestValue(dirty_, Suggest(0, 0, "Fort Wayne")).has_value());
+  EXPECT_EQ(oracle.values_volunteered(), 0u);
+}
+
+TEST_F(OracleFixture, AlwaysVolunteersAtProbabilityOne) {
+  UserOracleOptions options;
+  options.volunteer_probability = 1.0;
+  UserOracle oracle(&truth_, options);
+  const auto value = oracle.SuggestValue(dirty_, Suggest(0, 0, "Fort Wayne"));
+  ASSERT_TRUE(value.has_value());
+  EXPECT_EQ(*value, "Michigan City");
+  EXPECT_EQ(oracle.values_volunteered(), 1u);
+}
+
+TEST_F(OracleFixture, VolunteerRateApproximatesProbability) {
+  UserOracleOptions options;
+  options.volunteer_probability = 0.5;
+  options.seed = 9;
+  UserOracle oracle(&truth_, options);
+  int volunteered = 0;
+  for (int i = 0; i < 1000; ++i) {
+    volunteered +=
+        oracle.SuggestValue(dirty_, Suggest(0, 0, "Fort Wayne")).has_value()
+            ? 1
+            : 0;
+  }
+  EXPECT_NEAR(volunteered / 1000.0, 0.5, 0.06);
+}
+
+}  // namespace
+}  // namespace gdr

@@ -1,0 +1,121 @@
+#include "core/quality.h"
+
+#include <gtest/gtest.h>
+
+namespace gdr {
+namespace {
+
+struct QualityWorld {
+  Schema schema;
+  Table clean;
+  Table dirty;
+  RuleSet rules;
+
+  QualityWorld()
+      : schema(*Schema::Make({"CT", "ZIP"})),
+        clean(schema),
+        dirty(schema),
+        rules(schema) {
+    // Four tuples in the 46360 context, one clean outsider.
+    for (int i = 0; i < 4; ++i) {
+      EXPECT_TRUE(clean.AppendRow({"Michigan City", "46360"}).ok());
+    }
+    EXPECT_TRUE(clean.AppendRow({"Westville", "46391"}).ok());
+    dirty = clean;
+    dirty.Set(0, 0, "Michigan Cty");
+    dirty.Set(1, 0, "Mich City");
+    EXPECT_TRUE(
+        rules.AddRuleFromString("phi1", "ZIP=46360 -> CT=Michigan City").ok());
+    EXPECT_TRUE(
+        rules.AddRuleFromString("phi4", "ZIP=46391 -> CT=Westville").ok());
+  }
+};
+
+TEST(ContextRuleWeightsTest, MatchesContextShare) {
+  QualityWorld w;
+  ViolationIndex index(&w.dirty, &w.rules);
+  const std::vector<double> weights = ContextRuleWeights(index);
+  ASSERT_EQ(weights.size(), 2u);
+  EXPECT_DOUBLE_EQ(weights[0], 4.0 / 5.0);  // 46360 context
+  EXPECT_DOUBLE_EQ(weights[1], 1.0 / 5.0);  // 46391 context
+}
+
+TEST(QualityEvaluatorTest, LossReflectsViolations) {
+  QualityWorld w;
+  ViolationIndex index(&w.dirty, &w.rules);
+  const std::vector<double> weights = ContextRuleWeights(index);
+  QualityEvaluator evaluator(w.clean, &w.rules, weights);
+
+  // Rule phi1: |Dopt |= phi1| = 4 (all in context clean), |D |= phi1| = 2.
+  // ql = (4-2)/4 = 0.5, weighted by 0.8 -> 0.4. phi4 is clean: ql = 0.
+  EXPECT_NEAR(evaluator.Loss(index), 0.8 * 0.5, 1e-12);
+}
+
+TEST(QualityEvaluatorTest, LossZeroOnCleanInstance) {
+  QualityWorld w;
+  Table clean_copy = w.clean;
+  ViolationIndex index(&clean_copy, &w.rules);
+  QualityEvaluator evaluator(w.clean, &w.rules, ContextRuleWeights(index));
+  EXPECT_NEAR(evaluator.Loss(index), 0.0, 1e-12);
+}
+
+TEST(QualityEvaluatorTest, ImprovementPct) {
+  QualityWorld w;
+  ViolationIndex index(&w.dirty, &w.rules);
+  QualityEvaluator evaluator(w.clean, &w.rules, ContextRuleWeights(index));
+  const double initial = evaluator.Loss(index);
+  EXPECT_NEAR(evaluator.ImprovementPct(index, initial), 0.0, 1e-9);
+
+  // Fix one of the two dirty cities: half the loss recovered.
+  index.ApplyCellChange(0, 0, std::string_view("Michigan City"));
+  EXPECT_NEAR(evaluator.ImprovementPct(index, initial), 50.0, 1e-9);
+
+  index.ApplyCellChange(1, 0, std::string_view("Michigan City"));
+  EXPECT_NEAR(evaluator.ImprovementPct(index, initial), 100.0, 1e-9);
+}
+
+TEST(QualityEvaluatorTest, ImprovementWithZeroInitialLossIsFull) {
+  QualityWorld w;
+  Table clean_copy = w.clean;
+  ViolationIndex index(&clean_copy, &w.rules);
+  QualityEvaluator evaluator(w.clean, &w.rules, ContextRuleWeights(index));
+  EXPECT_DOUBLE_EQ(evaluator.ImprovementPct(index, 0.0), 100.0);
+}
+
+TEST(RepairAccuracyTest, ThreeWayComparison) {
+  QualityWorld w;
+  Table current = w.dirty;
+  // One correct repair, one wrong repair, one dirty cell untouched? There
+  // are exactly two dirty cells; repair cell (0,0) correctly and mangle a
+  // clean cell (4,0).
+  current.Set(0, 0, "Michigan City");
+  current.Set(4, 0, "Oops");
+  auto acc = ComputeRepairAccuracy(w.dirty, current, w.clean);
+  ASSERT_TRUE(acc.ok());
+  EXPECT_EQ(acc->initially_incorrect_cells, 2u);
+  EXPECT_EQ(acc->updated_cells, 2u);
+  EXPECT_EQ(acc->correctly_updated_cells, 1u);
+  EXPECT_DOUBLE_EQ(acc->Precision(), 0.5);
+  EXPECT_DOUBLE_EQ(acc->Recall(), 0.5);
+}
+
+TEST(RepairAccuracyTest, NoUpdatesGivesPerfectPrecision) {
+  RepairAccuracy acc;
+  acc.initially_incorrect_cells = 5;
+  EXPECT_DOUBLE_EQ(acc.Precision(), 1.0);
+  EXPECT_DOUBLE_EQ(acc.Recall(), 0.0);
+}
+
+TEST(RepairAccuracyTest, CleanDatabaseGivesPerfectRecall) {
+  RepairAccuracy acc;
+  EXPECT_DOUBLE_EQ(acc.Recall(), 1.0);
+}
+
+TEST(RepairAccuracyTest, RejectsMismatchedTables) {
+  QualityWorld w;
+  Table other(*Schema::Make({"X"}));
+  EXPECT_FALSE(ComputeRepairAccuracy(w.dirty, other, w.clean).ok());
+}
+
+}  // namespace
+}  // namespace gdr

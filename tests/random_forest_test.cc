@@ -1,0 +1,159 @@
+#include "ml/random_forest.h"
+
+#include <gtest/gtest.h>
+
+namespace gdr {
+namespace {
+
+FeatureSchema MixedSchema() {
+  return FeatureSchema({{"color", FeatureType::kCategorical},
+                        {"size", FeatureType::kNumeric}});
+}
+
+TrainingSet SeparableSet(int n, std::uint64_t seed) {
+  TrainingSet set(MixedSchema(), 2);
+  Rng rng(seed);
+  for (int i = 0; i < n; ++i) {
+    const double color = static_cast<double>(rng.NextBounded(5));
+    const double size = rng.NextDouble() * 10.0;
+    EXPECT_TRUE(set.Add({{color, size}, size > 5.0 ? 1 : 0}).ok());
+  }
+  return set;
+}
+
+TEST(RandomForestTest, RejectsEmptyTraining) {
+  TrainingSet set(MixedSchema(), 2);
+  RandomForest forest;
+  EXPECT_FALSE(forest.Train(set).ok());
+}
+
+TEST(RandomForestTest, TrainsTenTreesByDefault) {
+  TrainingSet set = SeparableSet(100, 1);
+  RandomForest forest;
+  ASSERT_TRUE(forest.Train(set).ok());
+  EXPECT_EQ(forest.num_trees(), 10);
+  EXPECT_TRUE(forest.trained());
+}
+
+TEST(RandomForestTest, LearnsSeparableConcept) {
+  TrainingSet set = SeparableSet(400, 2);
+  RandomForest forest;
+  ASSERT_TRUE(forest.Train(set).ok());
+  int correct = 0;
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    const double color = static_cast<double>(rng.NextBounded(5));
+    const double size = rng.NextDouble() * 10.0;
+    const int truth = size > 5.0 ? 1 : 0;
+    correct += forest.Predict({color, size}) == truth ? 1 : 0;
+  }
+  EXPECT_GE(correct, 180);  // >= 90%
+}
+
+TEST(RandomForestTest, VoteFractionsSumToOne) {
+  TrainingSet set = SeparableSet(100, 4);
+  RandomForest forest;
+  ASSERT_TRUE(forest.Train(set).ok());
+  const std::vector<double> fractions = forest.VoteFractions({1.0, 7.0});
+  ASSERT_EQ(fractions.size(), 2u);
+  EXPECT_NEAR(fractions[0] + fractions[1], 1.0, 1e-12);
+}
+
+TEST(RandomForestTest, CommitteeVotesMatchFractions) {
+  TrainingSet set = SeparableSet(100, 5);
+  RandomForest forest;
+  ASSERT_TRUE(forest.Train(set).ok());
+  const std::vector<double> x = {2.0, 4.9};
+  const std::vector<int> votes = forest.CommitteeVotes(x);
+  ASSERT_EQ(votes.size(), 10u);
+  std::vector<double> fractions(2, 0.0);
+  for (int v : votes) fractions[static_cast<std::size_t>(v)] += 0.1;
+  const std::vector<double> reported = forest.VoteFractions(x);
+  EXPECT_NEAR(fractions[0], reported[0], 1e-9);
+}
+
+TEST(RandomForestTest, PaperSection42UncertaintyExamples) {
+  // Committee of 5: votes {confirm x3, reject x1, retain x1} -> 0.86,
+  // votes {confirm x1, reject x4} -> 0.45 (entropy with log base 3).
+  EXPECT_NEAR(
+      RandomForest::VoteEntropy({3.0 / 5.0, 1.0 / 5.0, 1.0 / 5.0}), 0.86,
+      0.005);
+  EXPECT_NEAR(RandomForest::VoteEntropy({1.0 / 5.0, 4.0 / 5.0, 0.0}), 0.455,
+              0.005);
+}
+
+TEST(RandomForestTest, VoteEntropyRange) {
+  EXPECT_DOUBLE_EQ(RandomForest::VoteEntropy({1.0, 0.0, 0.0}), 0.0);
+  EXPECT_NEAR(
+      RandomForest::VoteEntropy({1.0 / 3.0, 1.0 / 3.0, 1.0 / 3.0}), 1.0,
+      1e-12);
+  EXPECT_DOUBLE_EQ(RandomForest::VoteEntropy({}), 0.0);
+  EXPECT_DOUBLE_EQ(RandomForest::VoteEntropy({1.0}), 0.0);
+}
+
+TEST(RandomForestTest, UncertaintyLowOnConfidentRegion) {
+  TrainingSet set = SeparableSet(400, 6);
+  RandomForest forest;
+  ASSERT_TRUE(forest.Train(set).ok());
+  // Deep inside class 1 territory the committee should agree.
+  EXPECT_LT(forest.Uncertainty({1.0, 9.5}), 0.5);
+}
+
+TEST(RandomForestTest, DeterministicGivenSeed) {
+  TrainingSet set = SeparableSet(200, 7);
+  RandomForestOptions options;
+  options.seed = 99;
+  RandomForest a(options);
+  RandomForest b(options);
+  ASSERT_TRUE(a.Train(set).ok());
+  ASSERT_TRUE(b.Train(set).ok());
+  for (int i = 0; i < 50; ++i) {
+    const std::vector<double> x = {static_cast<double>(i % 5),
+                                   static_cast<double>(i % 10)};
+    EXPECT_EQ(a.Predict(x), b.Predict(x));
+    EXPECT_DOUBLE_EQ(a.Uncertainty(x), b.Uncertainty(x));
+  }
+}
+
+TEST(RandomForestTest, DifferentSeedsGrowDifferentForests) {
+  TrainingSet set = SeparableSet(200, 8);
+  RandomForestOptions oa;
+  oa.seed = 1;
+  RandomForestOptions ob;
+  ob.seed = 2;
+  RandomForest a(oa);
+  RandomForest b(ob);
+  ASSERT_TRUE(a.Train(set).ok());
+  ASSERT_TRUE(b.Train(set).ok());
+  int differing = 0;
+  for (int i = 0; i < 100; ++i) {
+    const std::vector<double> x = {static_cast<double>(i % 5),
+                                   4.0 + (i % 20) * 0.1};
+    if (a.Uncertainty(x) != b.Uncertainty(x)) ++differing;
+  }
+  EXPECT_GT(differing, 0);
+}
+
+class ForestSizeTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ForestSizeTest, AccuracyHoldsAcrossCommitteeSizes) {
+  TrainingSet set = SeparableSet(300, 11);
+  RandomForestOptions options;
+  options.num_trees = GetParam();
+  RandomForest forest(options);
+  ASSERT_TRUE(forest.Train(set).ok());
+  EXPECT_EQ(forest.num_trees(), GetParam());
+  int correct = 0;
+  Rng rng(12);
+  for (int i = 0; i < 100; ++i) {
+    const double size = rng.NextDouble() * 10.0;
+    correct += forest.Predict({0.0, size}) == (size > 5.0 ? 1 : 0) ? 1 : 0;
+  }
+  EXPECT_GE(correct, 85);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ForestSizeTest,
+                         ::testing::Values(1, 5, 10, 20));
+
+}  // namespace
+}  // namespace gdr

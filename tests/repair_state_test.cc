@@ -1,0 +1,81 @@
+#include "repair/repair_state.h"
+
+#include <gtest/gtest.h>
+
+namespace gdr {
+namespace {
+
+TEST(RepairStateTest, CellsStartChangeable) {
+  RepairState state;
+  EXPECT_TRUE(state.IsChangeable(CellKey{0, 0}));
+  EXPECT_TRUE(state.IsChangeable(CellKey{123, 7}));
+  EXPECT_EQ(state.frozen_count(), 0u);
+}
+
+TEST(RepairStateTest, FreezeIsSticky) {
+  RepairState state;
+  state.Freeze(CellKey{3, 1});
+  EXPECT_FALSE(state.IsChangeable(CellKey{3, 1}));
+  EXPECT_TRUE(state.IsChangeable(CellKey{3, 2}));
+  EXPECT_TRUE(state.IsChangeable(CellKey{4, 1}));
+  state.Freeze(CellKey{3, 1});  // idempotent
+  EXPECT_EQ(state.frozen_count(), 1u);
+}
+
+TEST(RepairStateTest, PreventedListIsPerCell) {
+  RepairState state;
+  state.Prevent(CellKey{1, 0}, 5);
+  EXPECT_TRUE(state.IsPrevented(CellKey{1, 0}, 5));
+  EXPECT_FALSE(state.IsPrevented(CellKey{1, 0}, 6));
+  EXPECT_FALSE(state.IsPrevented(CellKey{2, 0}, 5));
+  EXPECT_EQ(state.PreventedCount(CellKey{1, 0}), 1u);
+  EXPECT_EQ(state.PreventedCount(CellKey{2, 0}), 0u);
+}
+
+TEST(RepairStateTest, PreventedListGrows) {
+  RepairState state;
+  for (ValueId v = 0; v < 10; ++v) state.Prevent(CellKey{0, 0}, v);
+  state.Prevent(CellKey{0, 0}, 3);  // duplicate
+  EXPECT_EQ(state.PreventedCount(CellKey{0, 0}), 10u);
+}
+
+TEST(CellKeyTest, EqualityAndHash) {
+  const CellKey a{1, 2};
+  const CellKey b{1, 2};
+  const CellKey c{2, 1};
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+  CellKeyHash hash;
+  EXPECT_EQ(hash(a), hash(b));
+  EXPECT_NE(hash(a), hash(c));  // not guaranteed in general, true here
+}
+
+TEST(UpdateTest, EqualityIgnoresScore) {
+  const Update a{1, 2, 3, 0.5};
+  const Update b{1, 2, 3, 0.9};
+  const Update c{1, 2, 4, 0.5};
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+  EXPECT_TRUE(a.cell() == b.cell());
+}
+
+TEST(UpdateTest, ToStringShowsTransition) {
+  Schema schema = *Schema::Make({"CT"});
+  Table table(schema);
+  ASSERT_TRUE(table.AppendRow({"Fort Wayn"}).ok());
+  const ValueId v = table.InternValue(0, "Fort Wayne");
+  const Update update{0, 0, v, 0.9};
+  const std::string text = update.ToString(table);
+  EXPECT_NE(text.find("Fort Wayn"), std::string::npos);
+  EXPECT_NE(text.find("Fort Wayne"), std::string::npos);
+  EXPECT_NE(text.find("CT"), std::string::npos);
+}
+
+TEST(FeedbackTest, Names) {
+  EXPECT_STREQ(FeedbackName(Feedback::kConfirm), "confirm");
+  EXPECT_STREQ(FeedbackName(Feedback::kReject), "reject");
+  EXPECT_STREQ(FeedbackName(Feedback::kRetain), "retain");
+}
+
+}  // namespace
+}  // namespace gdr

@@ -1,0 +1,60 @@
+#include "data/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace gdr {
+namespace {
+
+TEST(SchemaTest, MakeAssignsDenseIds) {
+  auto schema = Schema::Make({"A", "B", "C"});
+  ASSERT_TRUE(schema.ok());
+  EXPECT_EQ(schema->num_attrs(), 3u);
+  EXPECT_EQ(schema->attr_name(0), "A");
+  EXPECT_EQ(schema->attr_name(2), "C");
+}
+
+TEST(SchemaTest, RejectsDuplicates) {
+  auto schema = Schema::Make({"A", "B", "A"});
+  EXPECT_FALSE(schema.ok());
+  EXPECT_EQ(schema.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SchemaTest, RejectsEmptyName) {
+  auto schema = Schema::Make({"A", ""});
+  EXPECT_FALSE(schema.ok());
+}
+
+TEST(SchemaTest, FindAttr) {
+  auto schema = Schema::Make({"City", "Zip"});
+  ASSERT_TRUE(schema.ok());
+  EXPECT_EQ(schema->FindAttr("Zip"), 1);
+  EXPECT_EQ(schema->FindAttr("State"), kInvalidAttrId);
+}
+
+TEST(SchemaTest, GetAttrReportsName) {
+  auto schema = Schema::Make({"City"});
+  ASSERT_TRUE(schema.ok());
+  auto missing = schema->GetAttr("Nope");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_NE(missing.status().message().find("Nope"), std::string::npos);
+  auto found = schema->GetAttr("City");
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(*found, 0);
+}
+
+TEST(SchemaTest, EqualityByNames) {
+  auto a = Schema::Make({"X", "Y"});
+  auto b = Schema::Make({"X", "Y"});
+  auto c = Schema::Make({"Y", "X"});
+  EXPECT_TRUE(*a == *b);
+  EXPECT_FALSE(*a == *c);
+}
+
+TEST(SchemaTest, EmptySchemaAllowed) {
+  auto schema = Schema::Make({});
+  ASSERT_TRUE(schema.ok());
+  EXPECT_EQ(schema->num_attrs(), 0u);
+}
+
+}  // namespace
+}  // namespace gdr

@@ -1,0 +1,121 @@
+#include "data/table.h"
+
+#include <gtest/gtest.h>
+
+namespace gdr {
+namespace {
+
+Table MakeCityTable() {
+  auto schema = Schema::Make({"City", "Zip"});
+  Table table(*schema);
+  EXPECT_TRUE(table.AppendRow({"Fort Wayne", "46802"}).ok());
+  EXPECT_TRUE(table.AppendRow({"Westville", "46391"}).ok());
+  EXPECT_TRUE(table.AppendRow({"Fort Wayne", "46802"}).ok());
+  return table;
+}
+
+TEST(TableTest, AppendAndAccess) {
+  Table table = MakeCityTable();
+  EXPECT_EQ(table.num_rows(), 3u);
+  EXPECT_EQ(table.num_attrs(), 2u);
+  EXPECT_EQ(table.at(0, 0), "Fort Wayne");
+  EXPECT_EQ(table.at(1, 1), "46391");
+  // Same string interns to the same id.
+  EXPECT_EQ(table.id_at(0, 0), table.id_at(2, 0));
+}
+
+TEST(TableTest, AppendRejectsWrongArity) {
+  auto schema = Schema::Make({"A", "B"});
+  Table table(*schema);
+  EXPECT_FALSE(table.AppendRow({"only-one"}).ok());
+  EXPECT_FALSE(table.AppendRow({"1", "2", "3"}).ok());
+}
+
+TEST(TableTest, SetOverwritesCell) {
+  Table table = MakeCityTable();
+  table.Set(1, 0, "New Haven");
+  EXPECT_EQ(table.at(1, 0), "New Haven");
+}
+
+TEST(TableTest, ValueCountTracksMutations) {
+  Table table = MakeCityTable();
+  const ValueId fort_wayne = table.dict(0).Lookup("Fort Wayne");
+  const ValueId westville = table.dict(0).Lookup("Westville");
+  EXPECT_EQ(table.ValueCount(0, fort_wayne), 2);
+  EXPECT_EQ(table.ValueCount(0, westville), 1);
+
+  table.SetById(1, 0, fort_wayne);
+  EXPECT_EQ(table.ValueCount(0, fort_wayne), 3);
+  EXPECT_EQ(table.ValueCount(0, westville), 0);
+
+  const ValueId fresh = table.Set(0, 0, "Gary");
+  EXPECT_EQ(table.ValueCount(0, fresh), 1);
+  EXPECT_EQ(table.ValueCount(0, fort_wayne), 2);
+}
+
+TEST(TableTest, ValueCountForNeverUsedValueIsZero) {
+  Table table = MakeCityTable();
+  const ValueId interned_only = table.InternValue(0, "Phantom");
+  EXPECT_EQ(table.ValueCount(0, interned_only), 0);
+}
+
+TEST(TableTest, SetByIdSameValueIsNoop) {
+  Table table = MakeCityTable();
+  const ValueId v = table.id_at(0, 0);
+  table.SetById(0, 0, v);
+  EXPECT_EQ(table.ValueCount(0, v), 2);
+}
+
+TEST(TableTest, CopyIsIndependentSnapshot) {
+  Table table = MakeCityTable();
+  Table copy = table;
+  copy.Set(0, 0, "Changed");
+  EXPECT_EQ(table.at(0, 0), "Fort Wayne");
+  EXPECT_EQ(copy.at(0, 0), "Changed");
+}
+
+TEST(TableTest, CellEqualsComparesStringsAcrossDictionaries) {
+  Table a = MakeCityTable();
+  // b interns the values in a different order -> different ids.
+  auto schema = Schema::Make({"City", "Zip"});
+  Table b(*schema);
+  ASSERT_TRUE(b.AppendRow({"Fort Wayne", "46802"}).ok());
+  ASSERT_TRUE(b.AppendRow({"Westville", "46391"}).ok());
+  ASSERT_TRUE(b.AppendRow({"Somewhere", "00000"}).ok());
+  b.InternValue(0, "Zzz");
+  EXPECT_TRUE(a.CellEquals(0, 0, b));
+  EXPECT_FALSE(a.CellEquals(2, 0, b));
+}
+
+TEST(TableTest, CountDifferingCells) {
+  Table a = MakeCityTable();
+  Table b = a;
+  auto same = a.CountDifferingCells(b);
+  ASSERT_TRUE(same.ok());
+  EXPECT_EQ(*same, 0u);
+
+  b.Set(0, 0, "X");
+  b.Set(2, 1, "Y");
+  auto diff = a.CountDifferingCells(b);
+  ASSERT_TRUE(diff.ok());
+  EXPECT_EQ(*diff, 2u);
+}
+
+TEST(TableTest, CountDifferingCellsRejectsMismatch) {
+  Table a = MakeCityTable();
+  auto other_schema = Schema::Make({"X"});
+  Table c(*other_schema);
+  EXPECT_FALSE(a.CountDifferingCells(c).ok());
+
+  Table d(a.schema());
+  ASSERT_TRUE(d.AppendRow({"only", "row"}).ok());
+  EXPECT_FALSE(a.CountDifferingCells(d).ok());
+}
+
+TEST(TableTest, RowToString) {
+  Table table = MakeCityTable();
+  EXPECT_EQ(table.RowToString(1), "Westville | 46391");
+}
+
+}  // namespace
+}  // namespace gdr

@@ -1,0 +1,58 @@
+#include "data/value_dict.h"
+
+#include <gtest/gtest.h>
+
+namespace gdr {
+namespace {
+
+TEST(ValueDictTest, InternAssignsDenseIds) {
+  ValueDict dict;
+  EXPECT_EQ(dict.Intern("a"), 0);
+  EXPECT_EQ(dict.Intern("b"), 1);
+  EXPECT_EQ(dict.Intern("c"), 2);
+  EXPECT_EQ(dict.size(), 3u);
+}
+
+TEST(ValueDictTest, InternIsIdempotent) {
+  ValueDict dict;
+  const ValueId a = dict.Intern("same");
+  EXPECT_EQ(dict.Intern("same"), a);
+  EXPECT_EQ(dict.size(), 1u);
+}
+
+TEST(ValueDictTest, LookupFindsInternedOnly) {
+  ValueDict dict;
+  dict.Intern("present");
+  EXPECT_NE(dict.Lookup("present"), kInvalidValueId);
+  EXPECT_EQ(dict.Lookup("absent"), kInvalidValueId);
+  EXPECT_TRUE(dict.Contains("present"));
+  EXPECT_FALSE(dict.Contains("absent"));
+}
+
+TEST(ValueDictTest, ToStringRoundTrips) {
+  ValueDict dict;
+  const ValueId id = dict.Intern("Fort Wayne");
+  EXPECT_EQ(dict.ToString(id), "Fort Wayne");
+}
+
+TEST(ValueDictTest, EmptyStringIsAValue) {
+  ValueDict dict;
+  const ValueId id = dict.Intern("");
+  EXPECT_EQ(dict.ToString(id), "");
+  EXPECT_TRUE(dict.Contains(""));
+}
+
+TEST(ValueDictTest, ManyValuesStayConsistent) {
+  ValueDict dict;
+  for (int i = 0; i < 1000; ++i) {
+    const ValueId id = dict.Intern("value-" + std::to_string(i));
+    EXPECT_EQ(id, i);
+  }
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(dict.ToString(i), "value-" + std::to_string(i));
+    EXPECT_EQ(dict.Lookup("value-" + std::to_string(i)), i);
+  }
+}
+
+}  // namespace
+}  // namespace gdr
