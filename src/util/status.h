@@ -1,6 +1,14 @@
 #ifndef GDR_UTIL_STATUS_H_
 #define GDR_UTIL_STATUS_H_
 
+// The library requires C++20 (std::unordered_map::contains, std::erase_if,
+// ...). Without this guard a C++17 build fails with ~50 scattered "no member
+// named 'contains'" errors; fail once, here, with the fix spelled out.
+#if defined(__cplusplus) && __cplusplus < 202002L && \
+    !(defined(_MSVC_LANG) && _MSVC_LANG >= 202002L)
+#error "gdr requires C++20: compile with -std=c++20 (CMake sets this automatically)"
+#endif
+
 #include <string>
 #include <string_view>
 #include <utility>
