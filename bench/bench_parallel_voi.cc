@@ -1,0 +1,156 @@
+// Serial-vs-parallel VOI ranking on the Dataset 1 workload.
+//
+// Measures one full VoiRanker::Rank() pass (the Step-4 inner loop of
+// Procedure 1) over the engine's real candidate pool, ranking the same
+// groups with 1 worker (serial path) and with pools of 2/4/8 workers, and
+// verifies the parallel scores are bit-identical to the serial ones —
+// parallelism must only buy wall-clock, never change the chosen group.
+//
+// Emits a machine-readable BENCH_voi.json next to the human-readable
+// table so the repo's bench trajectory is trackable across commits.
+// Speedups are hardware-dependent; `hardware_concurrency` is recorded in
+// the JSON so a 1-core CI result is not mistaken for a regression.
+//
+// Flags: --records=N (default 20000) --seed=S (default 42)
+//        --repeats=R (default 5, best-of) --threads-max=T (default 8)
+//        --out=PATH (default BENCH_voi.json)
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/gdr.h"
+#include "core/grouping.h"
+#include "core/voi.h"
+#include "sim/dataset1.h"
+#include "sim/oracle.h"
+#include "util/stopwatch.h"
+#include "util/thread_pool.h"
+
+namespace gdr {
+namespace {
+
+struct Measurement {
+  std::size_t threads = 1;
+  double seconds = 0.0;   // best-of-repeats for one full Rank() pass
+  double speedup = 1.0;   // serial seconds / this
+  bool scores_match = true;
+};
+
+double TimeRank(const VoiRanker& ranker, const std::vector<UpdateGroup>& groups,
+                int repeats, VoiRanker::Ranking* out) {
+  double best = -1.0;
+  for (int r = 0; r < repeats; ++r) {
+    Stopwatch watch;
+    *out = ranker.Rank(groups, [](const Update& u) { return u.score; });
+    const double seconds = watch.ElapsedSeconds();
+    if (best < 0.0 || seconds < best) best = seconds;
+  }
+  return best;
+}
+
+int RunBench(int argc, char** argv) {
+  const bench::Flags flags(argc, argv);
+  const std::size_t records =
+      static_cast<std::size_t>(flags.GetInt("records", 20000));
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(flags.GetInt("seed", 42));
+  const int repeats = static_cast<int>(flags.GetInt("repeats", 5));
+  const std::size_t threads_max =
+      static_cast<std::size_t>(flags.GetInt("threads-max", 8));
+
+  Dataset1Options options;
+  options.num_records = records;
+  options.seed = seed;
+  auto dataset = GenerateDataset1(options);
+  if (!dataset.ok()) {
+    std::printf("dataset1: %s\n", dataset.status().ToString().c_str());
+    return 1;
+  }
+
+  // Real engine state: Initialize() detects violations and seeds the pool
+  // exactly as the interactive loop would see it on round one.
+  Table working = dataset->dirty;
+  UserOracle oracle(&dataset->clean, {});
+  GdrEngine engine(&working, &dataset->rules, &oracle, {});
+  if (Status status = engine.Initialize(); !status.ok()) {
+    std::printf("initialize: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  const std::vector<UpdateGroup> groups = GroupUpdates(engine.pool());
+  std::size_t updates = 0;
+  for (const UpdateGroup& group : groups) updates += group.size();
+  std::printf("== bench_parallel_voi: %s ==\n", dataset->name.c_str());
+  std::printf("records=%zu groups=%zu updates=%zu repeats=%d hw_threads=%u\n",
+              records, groups.size(), updates, repeats,
+              std::thread::hardware_concurrency());
+
+  // Serial reference.
+  VoiRanker serial(&engine.index(), &engine.rule_weights());
+  VoiRanker::Ranking reference;
+  const double serial_seconds = TimeRank(serial, groups, repeats, &reference);
+
+  std::vector<Measurement> results;
+  results.push_back({1, serial_seconds, 1.0, true});
+  for (std::size_t threads = 2; threads <= threads_max; threads *= 2) {
+    ThreadPool pool(threads);
+    VoiRanker ranker(&engine.index(), &engine.rule_weights(), &pool);
+    VoiRanker::Ranking ranking;
+    Measurement m;
+    m.threads = threads;
+    m.seconds = TimeRank(ranker, groups, repeats, &ranking);
+    m.speedup = m.seconds > 0.0 ? serial_seconds / m.seconds : 0.0;
+    m.scores_match = ranking.scores == reference.scores &&
+                     ranking.order == reference.order;
+    results.push_back(m);
+  }
+
+  std::printf("%8s %14s %10s %14s\n", "threads", "rank-seconds", "speedup",
+              "scores-match");
+  bool all_match = true;
+  for (const Measurement& m : results) {
+    std::printf("%8zu %14.4f %9.2fx %14s\n", m.threads, m.seconds, m.speedup,
+                m.scores_match ? "yes" : "NO");
+    all_match = all_match && m.scores_match;
+  }
+
+  const std::string out_path = flags.GetString("out", "BENCH_voi.json");
+  if (FILE* out = std::fopen(out_path.c_str(), "w")) {
+    std::fprintf(out,
+                 "{\n"
+                 "  \"bench\": \"parallel_voi\",\n"
+                 "  \"dataset\": \"%s\",\n"
+                 "  \"records\": %zu,\n"
+                 "  \"groups\": %zu,\n"
+                 "  \"updates\": %zu,\n"
+                 "  \"repeats\": %d,\n"
+                 "  \"seed\": %llu,\n"
+                 "  \"hardware_concurrency\": %u,\n"
+                 "  \"results\": [\n",
+                 dataset->name.c_str(), records, groups.size(), updates,
+                 repeats, static_cast<unsigned long long>(seed),
+                 std::thread::hardware_concurrency());
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const Measurement& m = results[i];
+      std::fprintf(out,
+                   "    {\"threads\": %zu, \"rank_seconds\": %.6f, "
+                   "\"speedup\": %.3f, \"scores_match\": %s}%s\n",
+                   m.threads, m.seconds, m.speedup,
+                   m.scores_match ? "true" : "false",
+                   i + 1 < results.size() ? "," : "");
+    }
+    std::fprintf(out, "  ]\n}\n");
+    std::fclose(out);
+    std::printf("wrote %s\n", out_path.c_str());
+  } else {
+    std::printf("could not write %s\n", out_path.c_str());
+  }
+  return all_match ? 0 : 2;
+}
+
+}  // namespace
+}  // namespace gdr
+
+int main(int argc, char** argv) { return gdr::RunBench(argc, argv); }

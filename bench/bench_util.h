@@ -24,6 +24,12 @@ class Flags {
     return value.empty() ? default_value : std::atof(value.c_str());
   }
 
+  std::string GetString(std::string_view name,
+                        std::string_view default_value) const {
+    const std::string value = GetRaw(name);
+    return value.empty() ? std::string(default_value) : value;
+  }
+
  private:
   std::string GetRaw(std::string_view name) const {
     const std::string prefix = "--" + std::string(name) + "=";

@@ -10,6 +10,7 @@
 // updates required by an approach").
 //
 // Flags: --records=N (default 20000) --seed=S (default 42)
+//        --threads=T (VOI ranking workers; 1 serial, 0 = hardware)
 #include <cstdio>
 #include <vector>
 
@@ -23,7 +24,7 @@ namespace gdr {
 namespace {
 
 void RunFigure3(const Dataset& dataset, const char* figure,
-                std::uint64_t seed) {
+                std::uint64_t seed, std::size_t threads) {
   std::printf("== Figure 3%s: %s ==\n", figure, dataset.name.c_str());
   std::printf("%-16s %10s %12s\n", "strategy", "feedback%", "improvement%");
   for (Strategy strategy : {Strategy::kGdrNoLearning, Strategy::kGreedy,
@@ -33,6 +34,7 @@ void RunFigure3(const Dataset& dataset, const char* figure,
     config.strategy = strategy;
     config.seed = seed;
     config.sample_every = 50;
+    config.num_threads = threads;
     auto result = RunStrategyExperiment(dataset, config);
     if (!result.ok()) {
       std::printf("error: %s\n", result.status().ToString().c_str());
@@ -70,6 +72,8 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(flags.GetInt("records", 20000));
   const std::uint64_t seed =
       static_cast<std::uint64_t>(flags.GetInt("seed", 42));
+  const std::size_t threads =
+      static_cast<std::size_t>(flags.GetInt("threads", 1));
 
   {
     gdr::Dataset1Options options;
@@ -80,7 +84,7 @@ int main(int argc, char** argv) {
       std::printf("dataset1: %s\n", dataset.status().ToString().c_str());
       return 1;
     }
-    gdr::RunFigure3(*dataset, "(a)", seed);
+    gdr::RunFigure3(*dataset, "(a)", seed, threads);
   }
   {
     gdr::Dataset2Options options;
@@ -91,7 +95,7 @@ int main(int argc, char** argv) {
       std::printf("dataset2: %s\n", dataset.status().ToString().c_str());
       return 1;
     }
-    gdr::RunFigure3(*dataset, "(b)", seed);
+    gdr::RunFigure3(*dataset, "(b)", seed, threads);
   }
   return 0;
 }

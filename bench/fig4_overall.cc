@@ -11,6 +11,7 @@
 //         scale — the interactive loop re-ranks the whole candidate pool
 //         after every n_s labels, so full scale takes tens of minutes)
 //         --seed=S (default 42)
+//         --threads=T (VOI ranking workers; 1 serial, 0 = hardware)
 //        --budget_pct=P (default 100, user budget as % of E)
 #include <cstdio>
 
@@ -31,7 +32,8 @@ std::size_t InitialDirtyCount(const Dataset& dataset) {
 }
 
 void RunFigure4(const Dataset& dataset, const char* figure,
-                std::uint64_t seed, double budget_pct) {
+                std::uint64_t seed, double budget_pct,
+                std::size_t threads) {
   const std::size_t initial_dirty = InitialDirtyCount(dataset);
   const std::size_t budget = static_cast<std::size_t>(
       static_cast<double>(initial_dirty) * budget_pct / 100.0);
@@ -47,6 +49,7 @@ void RunFigure4(const Dataset& dataset, const char* figure,
     config.strategy = strategy;
     config.feedback_budget = budget;
     config.seed = seed;
+    config.num_threads = threads;
     config.sample_every = 50;
     auto result = RunStrategyExperiment(dataset, config);
     if (!result.ok()) {
@@ -96,6 +99,8 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(flags.GetInt("records", 4000));
   const std::uint64_t seed =
       static_cast<std::uint64_t>(flags.GetInt("seed", 42));
+  const std::size_t threads =
+      static_cast<std::size_t>(flags.GetInt("threads", 1));
   const double budget_pct = flags.GetDouble("budget_pct", 100.0);
 
   {
@@ -104,7 +109,7 @@ int main(int argc, char** argv) {
     options.seed = seed;
     auto dataset = gdr::GenerateDataset1(options);
     if (!dataset.ok()) return 1;
-    gdr::RunFigure4(*dataset, "(a)", seed, budget_pct);
+    gdr::RunFigure4(*dataset, "(a)", seed, budget_pct, threads);
   }
   {
     gdr::Dataset2Options options;
@@ -112,7 +117,7 @@ int main(int argc, char** argv) {
     options.seed = seed;
     auto dataset = gdr::GenerateDataset2(options);
     if (!dataset.ok()) return 1;
-    gdr::RunFigure4(*dataset, "(b)", seed, budget_pct);
+    gdr::RunFigure4(*dataset, "(b)", seed, budget_pct, threads);
   }
   return 0;
 }

@@ -8,6 +8,7 @@
 //         scale — the interactive loop re-ranks the whole candidate pool
 //         after every n_s labels, so full scale takes tens of minutes)
 //         --seed=S (default 42)
+//         --threads=T (VOI ranking workers; 1 serial, 0 = hardware)
 #include <cstdio>
 
 #include "bench/bench_util.h"
@@ -21,7 +22,7 @@ namespace gdr {
 namespace {
 
 void RunFigure5(const Dataset& dataset, const char* figure,
-                std::uint64_t seed) {
+                std::uint64_t seed, std::size_t threads) {
   Table dirty = dataset.dirty;
   ViolationIndex index(&dirty, &dataset.rules);
   const std::size_t initial_dirty = index.DirtyRows().size();
@@ -37,6 +38,7 @@ void RunFigure5(const Dataset& dataset, const char* figure,
     config.feedback_budget = static_cast<std::size_t>(
         static_cast<double>(initial_dirty) * pct / 100.0);
     config.seed = seed;
+    config.num_threads = threads;
     config.sample_every = 1000000;  // only endpoints matter here
     auto result = RunStrategyExperiment(dataset, config);
     if (!result.ok()) {
@@ -60,6 +62,8 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(flags.GetInt("records", 4000));
   const std::uint64_t seed =
       static_cast<std::uint64_t>(flags.GetInt("seed", 42));
+  const std::size_t threads =
+      static_cast<std::size_t>(flags.GetInt("threads", 1));
 
   {
     gdr::Dataset1Options options;
@@ -67,7 +71,7 @@ int main(int argc, char** argv) {
     options.seed = seed;
     auto dataset = gdr::GenerateDataset1(options);
     if (!dataset.ok()) return 1;
-    gdr::RunFigure5(*dataset, "(a)", seed);
+    gdr::RunFigure5(*dataset, "(a)", seed, threads);
   }
   {
     gdr::Dataset2Options options;
@@ -75,7 +79,7 @@ int main(int argc, char** argv) {
     options.seed = seed;
     auto dataset = gdr::GenerateDataset2(options);
     if (!dataset.ok()) return 1;
-    gdr::RunFigure5(*dataset, "(b)", seed);
+    gdr::RunFigure5(*dataset, "(b)", seed, threads);
   }
   return 0;
 }

@@ -324,4 +324,216 @@ std::vector<RowId> ViolationIndex::GroupMembers(RowId row, RuleId rule) const {
   return out;
 }
 
+// ---------------------------------------------------------------------------
+// ViolationDelta
+// ---------------------------------------------------------------------------
+
+ViolationDelta::ViolationDelta(const ViolationIndex* base)
+    : base_(base), base_version_(base->version()) {}
+
+ValueId ViolationDelta::ValueAt(RowId row, AttrId attr) const {
+  auto it = writes_.find(PackCell(row, attr));
+  return it != writes_.end() ? it->second : base_->table().id_at(row, attr);
+}
+
+const ViolationDelta::RuleDelta* ViolationDelta::FindDelta(
+    RuleId rule) const {
+  auto it = rules_.find(rule);
+  return it == rules_.end() ? nullptr : &it->second;
+}
+
+ViolationDelta::RuleDelta& ViolationDelta::EnsureDelta(RuleId rule) {
+  return rules_[rule];
+}
+
+bool ViolationDelta::MatchesContext(const RuleStats& rs, RowId row) const {
+  for (std::size_t i = 0; i < rs.lhs_attrs.size(); ++i) {
+    if (rs.lhs_consts[i] != kInvalidValueId &&
+        ValueAt(row, rs.lhs_attrs[i]) != rs.lhs_consts[i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+ViolationDelta::GroupKey ViolationDelta::KeyFor(const RuleStats& rs,
+                                                RowId row) const {
+  GroupKey key(rs.lhs_attrs.size());
+  for (std::size_t i = 0; i < rs.lhs_attrs.size(); ++i) {
+    key[i] = ValueAt(row, rs.lhs_attrs[i]);
+  }
+  return key;
+}
+
+bool ViolationDelta::RowViolates(const RuleStats& rs, const RuleDelta* rd,
+                                 RowId row) const {
+  if (rd != nullptr) {
+    auto it = rd->row_violates.find(row);
+    if (it != rd->row_violates.end()) return it->second != 0;
+  }
+  return rs.row_violates[static_cast<std::size_t>(row)] != 0;
+}
+
+const ViolationDelta::Group* ViolationDelta::FindGroup(
+    const RuleStats& rs, const RuleDelta* rd, const GroupKey& key) const {
+  if (rd != nullptr) {
+    auto it = rd->groups.find(key);
+    if (it != rd->groups.end()) return &it->second;
+  }
+  auto it = rs.groups.find(key);
+  return it == rs.groups.end() ? nullptr : &it->second;
+}
+
+ViolationDelta::Group& ViolationDelta::EnsureGroup(const RuleStats& rs,
+                                                   RuleDelta& rd,
+                                                   const GroupKey& key) {
+  auto [it, inserted] = rd.groups.try_emplace(key);
+  if (inserted) {
+    auto bit = rs.groups.find(key);
+    if (bit != rs.groups.end()) it->second = bit->second;  // copy-on-write
+  }
+  return it->second;
+}
+
+void ViolationDelta::RemoveRow(RuleId rule, RowId row) {
+  const RuleStats& rs = base_->stats_[static_cast<std::size_t>(rule)];
+  if (!MatchesContext(rs, row)) return;
+  RuleDelta& rd = EnsureDelta(rule);
+  --rd.context_count;
+
+  if (rs.is_constant) {
+    if (RowViolates(rs, &rd, row)) {
+      --rd.violations;
+      --rd.violating_tuples;
+    }
+    rd.row_violates[row] = 0;
+    return;
+  }
+
+  GroupKey key = KeyFor(rs, row);
+  Group& g = EnsureGroup(rs, rd, key);
+  rd.violations -= g.PairViolations();
+  rd.violating_tuples -= g.ViolatingTuples();
+
+  const ValueId a = ValueAt(row, rs.rhs_attr);
+  auto cit = g.counts.find(a);
+  assert(cit != g.counts.end() && cit->second > 0);
+  g.sum_sq -= 2 * cit->second - 1;
+  --cit->second;
+  if (cit->second == 0) g.counts.erase(cit);
+  --g.total;
+
+  rd.violations += g.PairViolations();
+  rd.violating_tuples += g.ViolatingTuples();
+}
+
+void ViolationDelta::AddRow(RuleId rule, RowId row) {
+  const RuleStats& rs = base_->stats_[static_cast<std::size_t>(rule)];
+  if (!MatchesContext(rs, row)) return;
+  RuleDelta& rd = EnsureDelta(rule);
+  ++rd.context_count;
+
+  if (rs.is_constant) {
+    const bool violates = ValueAt(row, rs.rhs_attr) != rs.rhs_const;
+    rd.row_violates[row] = violates ? 1 : 0;
+    if (violates) {
+      ++rd.violations;
+      ++rd.violating_tuples;
+    }
+    return;
+  }
+
+  GroupKey key = KeyFor(rs, row);
+  Group& g = EnsureGroup(rs, rd, key);
+  rd.violations -= g.PairViolations();
+  rd.violating_tuples -= g.ViolatingTuples();
+
+  const ValueId a = ValueAt(row, rs.rhs_attr);
+  std::int64_t& count = g.counts[a];
+  g.sum_sq += 2 * count + 1;
+  ++count;
+  ++g.total;
+
+  rd.violations += g.PairViolations();
+  rd.violating_tuples += g.ViolatingTuples();
+}
+
+ValueId ViolationDelta::SetCell(RowId row, AttrId attr, ValueId value) {
+  const ValueId old = ValueAt(row, attr);
+  if (old == value) return old;
+  const std::vector<RuleId>& affected = base_->rules().RulesMentioning(attr);
+  // Same discipline as the base: retire the row's contribution under its
+  // old values, land the write, re-add under the new values.
+  for (RuleId id : affected) RemoveRow(id, row);
+  if (value == base_->table().id_at(row, attr)) {
+    writes_.erase(PackCell(row, attr));
+  } else {
+    writes_[PackCell(row, attr)] = value;
+  }
+  for (RuleId id : affected) AddRow(id, row);
+  return old;
+}
+
+void ViolationDelta::Merge(const ViolationDelta& other) {
+  assert(other.base_ == base_);
+  for (const auto& [cell, value] : other.writes_) {
+    SetCell(static_cast<RowId>(cell >> 32),
+            static_cast<AttrId>(cell & 0xFFFFFFFFULL), value);
+  }
+}
+
+void ViolationDelta::Discard() {
+  writes_.clear();
+  rules_.clear();
+}
+
+std::int64_t ViolationDelta::RuleViolations(RuleId rule) const {
+  const RuleDelta* rd = FindDelta(rule);
+  return base_->RuleViolations(rule) + (rd != nullptr ? rd->violations : 0);
+}
+
+std::int64_t ViolationDelta::ViolatingCount(RuleId rule) const {
+  const RuleDelta* rd = FindDelta(rule);
+  return base_->ViolatingCount(rule) +
+         (rd != nullptr ? rd->violating_tuples : 0);
+}
+
+std::int64_t ViolationDelta::ContextCount(RuleId rule) const {
+  const RuleDelta* rd = FindDelta(rule);
+  return base_->ContextCount(rule) + (rd != nullptr ? rd->context_count : 0);
+}
+
+std::int64_t ViolationDelta::TotalViolations() const {
+  std::int64_t total = base_->TotalViolations();
+  for (const auto& [rule, rd] : rules_) total += rd.violations;
+  return total;
+}
+
+std::int64_t ViolationDelta::TupleViolation(RowId row, RuleId rule) const {
+  const RuleStats& rs = base_->stats_[static_cast<std::size_t>(rule)];
+  if (!MatchesContext(rs, row)) return 0;
+  const RuleDelta* rd = FindDelta(rule);
+  if (rs.is_constant) return RowViolates(rs, rd, row) ? 1 : 0;
+  const Group* g = FindGroup(rs, rd, KeyFor(rs, row));
+  if (g == nullptr) return 0;
+  auto cit = g->counts.find(ValueAt(row, rs.rhs_attr));
+  const std::int64_t same = cit == g->counts.end() ? 0 : cit->second;
+  return g->total - same;
+}
+
+bool ViolationDelta::IsDirty(RowId row) const {
+  for (std::size_t i = 0; i < base_->stats_.size(); ++i) {
+    if (TupleViolation(row, static_cast<RuleId>(i)) > 0) return true;
+  }
+  return false;
+}
+
+std::vector<RowId> ViolationDelta::DirtyRows() const {
+  std::vector<RowId> out;
+  for (std::size_t r = 0; r < base_->table().num_rows(); ++r) {
+    if (IsDirty(static_cast<RowId>(r))) out.push_back(static_cast<RowId>(r));
+  }
+  return out;
+}
+
 }  // namespace gdr

@@ -30,9 +30,10 @@ namespace gdr {
 ///    which supplies the default rule weight w_φ = |D(φ)|/|D| of Eq. 3.
 ///
 /// Mutations go through ApplyCellChange, which updates the table cell and
-/// all affected per-rule structures; Apply followed by Apply of the old
-/// value restores the exact prior state, which is how VOI evaluates
-/// hypothetical databases D^rj without copying D.
+/// all affected per-rule structures. Hypothetical databases D^rj are *not*
+/// evaluated by mutating this index: ViolationDelta (below) overlays
+/// pending cell writes on a read-only base, so VOI ranking can score many
+/// hypotheticals concurrently against one shared immutable index.
 ///
 /// The index holds a non-owning pointer to the table; the table must
 /// outlive the index, and all mutations while the index is alive must go
@@ -201,10 +202,135 @@ class ViolationIndex {
   void RemoveRow(RuleStats& rs, RowId row);
   void AddRow(RuleStats& rs, RowId row);
 
+  friend class ViolationDelta;
+
   Table* table_;
   const RuleSet* rules_;
   std::vector<RuleStats> stats_;
   std::uint64_t version_ = 0;
+};
+
+/// A cheap, copyable overlay over an immutable ViolationIndex: pending
+/// cell writes plus per-rule violation-count adjustments resolved against
+/// the base. This is how hypothetical databases D^rj are evaluated —
+/// staging a cell write into a delta never touches the base index or its
+/// table, so any number of deltas can be evaluated concurrently against
+/// one shared base (the parallel-VOI contract).
+///
+/// Resolution semantics: every query answers as if the pending writes had
+/// been applied to the base table. The arithmetic mirrors the base's
+/// incremental maintenance exactly (remove-with-old-values /
+/// add-with-new-values per affected rule), with variable-rule LHS groups
+/// copied on first touch, so delta aggregates are bit-identical to an
+/// index rebuilt from scratch over the overlaid table.
+///
+/// The base must outlive the delta and must not be mutated while deltas
+/// derived from it are in use (a base ApplyCellChange invalidates them;
+/// `base_version()` records the version the delta was resolved against).
+class ViolationDelta {
+ public:
+  explicit ViolationDelta(const ViolationIndex* base);
+
+  ViolationDelta(const ViolationDelta&) = default;
+  ViolationDelta& operator=(const ViolationDelta&) = default;
+  ViolationDelta(ViolationDelta&&) = default;
+  ViolationDelta& operator=(ViolationDelta&&) = default;
+
+  const ViolationIndex& base() const { return *base_; }
+
+  /// ViolationIndex::version() of the base at construction; a differing
+  /// live value means this delta is stale.
+  std::uint64_t base_version() const { return base_version_; }
+
+  /// Overlay-aware cell read: the pending write when one exists, the base
+  /// table cell otherwise.
+  ValueId ValueAt(RowId row, AttrId attr) const;
+
+  /// Stages `value` into cell (row, attr) and updates every affected
+  /// rule's adjustments. Returns the previous overlay value. Staging a
+  /// cell back to its base value cancels the pending write.
+  ValueId SetCell(RowId row, AttrId attr, ValueId value);
+
+  /// Replays `other`'s pending writes on top of this overlay (both deltas
+  /// must share the same base). Cell-state semantics: after the merge,
+  /// every cell `other` has a pending write for reads `other`'s value.
+  void Merge(const ViolationDelta& other);
+
+  /// Drops all pending state; the delta reads as the base again.
+  void Discard();
+
+  /// Number of cells with a pending write.
+  std::size_t pending_writes() const { return writes_.size(); }
+  bool empty() const { return writes_.empty(); }
+
+  // -- Aggregate queries, all resolved against base + adjustments. ------
+
+  /// vio(D', {φ}) of the overlaid database.
+  std::int64_t RuleViolations(RuleId rule) const;
+  /// Tuples currently violating φ in the overlaid database.
+  std::int64_t ViolatingCount(RuleId rule) const;
+  /// |D'(φ)| of the overlaid database.
+  std::int64_t ContextCount(RuleId rule) const;
+  /// |D' ⊨ φ| (in-context satisfying tuples) of the overlaid database.
+  std::int64_t SatisfyingCount(RuleId rule) const {
+    return ContextCount(rule) - ViolatingCount(rule);
+  }
+  /// vio(D', Σ).
+  std::int64_t TotalViolations() const;
+
+  /// vio(t, {φ}) under the overlay.
+  std::int64_t TupleViolation(RowId row, RuleId rule) const;
+  bool Violates(RowId row, RuleId rule) const {
+    return TupleViolation(row, rule) > 0;
+  }
+  bool IsDirty(RowId row) const;
+  /// All dirty rows of the overlaid database, ascending (O(rows × rules);
+  /// diagnostic/testing use).
+  std::vector<RowId> DirtyRows() const;
+
+ private:
+  using RuleStats = ViolationIndex::RuleStats;
+  using GroupKey = ViolationIndex::GroupKey;
+  using Group = ViolationIndex::Group;
+
+  // Per-rule overlay state: adjustments relative to the base aggregates,
+  // sparse per-row violation-flag overrides (constant rules), and
+  // copy-on-write LHS groups holding *absolute* post-overlay tallies
+  // (variable rules). Membership lists are not overlaid — no delta query
+  // needs partner enumeration.
+  struct RuleDelta {
+    std::int64_t violations = 0;
+    std::int64_t violating_tuples = 0;
+    std::int64_t context_count = 0;
+    std::unordered_map<RowId, std::uint8_t> row_violates;
+    std::unordered_map<GroupKey, Group, ViolationIndex::GroupKeyHash> groups;
+  };
+
+  static std::uint64_t PackCell(RowId row, AttrId attr) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(row))
+            << 32) |
+           static_cast<std::uint32_t>(attr);
+  }
+
+  const RuleDelta* FindDelta(RuleId rule) const;
+  RuleDelta& EnsureDelta(RuleId rule);
+
+  bool MatchesContext(const RuleStats& rs, RowId row) const;
+  GroupKey KeyFor(const RuleStats& rs, RowId row) const;
+  bool RowViolates(const RuleStats& rs, const RuleDelta* rd, RowId row) const;
+  const Group* FindGroup(const RuleStats& rs, const RuleDelta* rd,
+                         const GroupKey& key) const;
+  Group& EnsureGroup(const RuleStats& rs, RuleDelta& rd, const GroupKey& key);
+
+  // Mirror ViolationIndex::{Remove,Add}Row against the overlay state;
+  // RemoveRow must run before the pending write lands, AddRow after.
+  void RemoveRow(RuleId rule, RowId row);
+  void AddRow(RuleId rule, RowId row);
+
+  const ViolationIndex* base_;
+  std::uint64_t base_version_ = 0;
+  std::unordered_map<std::uint64_t, ValueId> writes_;
+  std::unordered_map<RuleId, RuleDelta> rules_;
 };
 
 }  // namespace gdr

@@ -5,6 +5,7 @@
 #include <optional>
 
 #include "core/quality.h"
+#include "util/stopwatch.h"
 
 namespace gdr {
 
@@ -36,6 +37,7 @@ Status GdrEngine::Initialize() {
   if (initialized_) {
     return Status::FailedPrecondition("engine already initialized");
   }
+  const Stopwatch init_watch;
   index_ = std::make_unique<ViolationIndex>(table_, rules_);
   pool_ = std::make_unique<UpdatePool>();
   state_ = std::make_unique<RepairState>();
@@ -48,10 +50,14 @@ Status GdrEngine::Initialize() {
   bank_ = std::make_unique<LearnerBank>(table_, index_.get(), learner_options);
 
   weights_ = ContextRuleWeights(*index_);
-  voi_ = std::make_unique<VoiRanker>(index_.get(), &weights_);
+  const std::size_t threads =
+      ThreadPool::ResolveThreadCount(options_.num_threads);
+  if (threads > 1) workers_ = std::make_unique<ThreadPool>(threads);
+  voi_ = std::make_unique<VoiRanker>(index_.get(), &weights_, workers_.get());
 
   stats_ = GdrStats{};
   stats_.initial_dirty = manager_->Initialize();
+  stats_.timings.init_seconds = init_watch.ElapsedSeconds();
   initialized_ = true;
   return Status::OK();
 }
@@ -281,6 +287,7 @@ Status GdrEngine::RunGroupSession(const UpdateGroup& group, std::size_t quota,
 }
 
 Status GdrEngine::RunActiveLearningLoop(const ProgressCallback& callback) {
+  const Stopwatch session_watch;
   while (UserBudgetLeft() && !pool_->empty() && manager_->HasDirtyRows()) {
     std::vector<Update> live = pool_->All();
     OrderForSession(&live);
@@ -305,10 +312,12 @@ Status GdrEngine::RunActiveLearningLoop(const ProgressCallback& callback) {
     for (AttrId attr : touched) GDR_RETURN_NOT_OK(bank_->Retrain(attr));
     ++stats_.outer_iterations;
   }
+  stats_.timings.session_seconds += session_watch.ElapsedSeconds();
   return LearnerSweep(callback);
 }
 
 Status GdrEngine::LearnerSweep(const ProgressCallback& callback) {
+  const Stopwatch sweep_watch;
   for (int pass = 0; pass < options_.learner_sweep_passes; ++pass) {
     std::size_t decided = 0;
     for (const Update& u : pool_->All()) {
@@ -326,6 +335,7 @@ Status GdrEngine::LearnerSweep(const ProgressCallback& callback) {
     }
     if (decided == 0) break;
   }
+  stats_.timings.learner_sweep_seconds += sweep_watch.ElapsedSeconds();
   if (callback) callback(*this, stats_.user_feedback);
   return Status::OK();
 }
@@ -334,8 +344,11 @@ Status GdrEngine::Run(const ProgressCallback& callback) {
   if (!initialized_) {
     return Status::FailedPrecondition("call Initialize() first");
   }
+  const Stopwatch total_watch;
   if (options_.strategy == Strategy::kActiveLearning) {
-    return RunActiveLearningLoop(callback);
+    const Status status = RunActiveLearningLoop(callback);
+    stats_.timings.total_seconds += total_watch.ElapsedSeconds();
+    return status;
   }
 
   const bool ranks_by_voi = options_.strategy == Strategy::kGdr ||
@@ -353,9 +366,11 @@ Status GdrEngine::Run(const ProgressCallback& callback) {
 
     VoiRanker::Ranking ranking;
     if (ranks_by_voi) {
+      const Stopwatch ranking_watch;
       ranking = voi_->Rank(groups, [this](const Update& u) {
         return bank_->ConfirmProbability(u);
       });
+      stats_.timings.ranking_seconds += ranking_watch.ElapsedSeconds();
     }
 
     std::size_t picked = 0;
@@ -365,8 +380,11 @@ Status GdrEngine::Run(const ProgressCallback& callback) {
 
     const std::size_t before_feedback = stats_.user_feedback;
     const std::size_t before_decisions = stats_.learner_decisions;
-    GDR_RETURN_NOT_OK(RunGroupSession(
-        groups[picked], GroupQuota(groups[picked], score, gmax), callback));
+    const Stopwatch session_watch;
+    const Status session_status = RunGroupSession(
+        groups[picked], GroupQuota(groups[picked], score, gmax), callback);
+    stats_.timings.session_seconds += session_watch.ElapsedSeconds();
+    GDR_RETURN_NOT_OK(session_status);
 
     if (stats_.user_feedback == before_feedback &&
         stats_.learner_decisions == before_decisions) {
@@ -379,6 +397,7 @@ Status GdrEngine::Run(const ProgressCallback& callback) {
     // the pool (Appendix B.1's protocol).
     GDR_RETURN_NOT_OK(LearnerSweep(callback));
   }
+  stats_.timings.total_seconds += total_watch.ElapsedSeconds();
   return Status::OK();
 }
 

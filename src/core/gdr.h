@@ -18,6 +18,7 @@
 #include "repair/update_pool.h"
 #include "util/result.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace gdr {
 
@@ -69,6 +70,20 @@ struct GdrOptions {
   /// with the learner predictions" condition, measured rather than
   /// assumed).
   double learner_min_accuracy = 0.8;
+  /// Worker threads for VOI group ranking (Step 4): 1 = serial (default),
+  /// 0 = one per hardware thread, N = exactly N workers. Ranking output is
+  /// bit-identical for every setting — parallelism only changes wall-clock
+  /// time, never scores, order, or repair results.
+  std::size_t num_threads = 1;
+};
+
+/// Per-phase wall-clock timings (seconds), accumulated by the engine.
+struct GdrTimings {
+  double init_seconds = 0.0;     // Initialize(): index build + pool seeding
+  double ranking_seconds = 0.0;  // Step 4: VOI group ranking
+  double session_seconds = 0.0;  // group sessions: labels + cascades
+  double learner_sweep_seconds = 0.0;  // budget-exhaustion sweeps
+  double total_seconds = 0.0;          // the whole Run()
 };
 
 struct GdrStats {
@@ -82,6 +97,10 @@ struct GdrStats {
   std::size_t learner_confirms = 0;
   std::size_t forced_repairs = 0;  // consistency-manager cascades
   std::size_t outer_iterations = 0;
+  /// Wall-clock phase breakdown. Excluded from determinism comparisons —
+  /// every other field is identical run-to-run for a fixed seed,
+  /// regardless of num_threads.
+  GdrTimings timings;
 };
 
 /// The GDR framework of Figure 2: orchestrates the consistency manager,
@@ -187,6 +206,7 @@ class GdrEngine {
   std::unique_ptr<UpdateGenerator> generator_;
   std::unique_ptr<ConsistencyManager> manager_;
   std::unique_ptr<LearnerBank> bank_;
+  std::unique_ptr<ThreadPool> workers_;  // nullptr when ranking serially
   std::unique_ptr<VoiRanker> voi_;
   std::vector<double> weights_;
   mutable Rng rng_{0};

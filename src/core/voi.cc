@@ -3,36 +3,33 @@
 #include <algorithm>
 #include <numeric>
 
+#include "util/thread_pool.h"
+
 namespace gdr {
 
-VoiRanker::VoiRanker(ViolationIndex* index, const std::vector<double>* weights)
-    : index_(index), weights_(weights) {}
+VoiRanker::VoiRanker(const ViolationIndex* index,
+                     const std::vector<double>* weights, ThreadPool* workers)
+    : index_(index), weights_(weights), workers_(workers) {}
 
 double VoiRanker::UpdateBenefit(const Update& update) const {
   const std::vector<RuleId>& affected =
       index_->rules().RulesMentioning(update.attr);
   if (affected.empty()) return 0.0;
 
-  // Record vio(D, {φ}) before the hypothetical application.
-  std::vector<std::int64_t> vio_before(affected.size());
-  for (std::size_t i = 0; i < affected.size(); ++i) {
-    vio_before[i] = index_->RuleViolations(affected[i]);
-  }
+  // D^rj as an overlay: stage the write, read the affected aggregates.
+  // The shared index is never touched, so concurrent evaluations are safe.
+  ViolationDelta delta(index_);
+  delta.SetCell(update.row, update.attr, update.value);
 
-  // D^rj: apply, measure, revert. Apply+revert restores exact state.
-  const ValueId old_value =
-      index_->ApplyCellChange(update.row, update.attr, update.value);
   double benefit = 0.0;
-  for (std::size_t i = 0; i < affected.size(); ++i) {
-    const RuleId rule = affected[i];
-    const std::int64_t satisfying = index_->SatisfyingCount(rule);
+  for (RuleId rule : affected) {
+    const std::int64_t satisfying = delta.SatisfyingCount(rule);
     if (satisfying <= 0) continue;  // no denominator: rule fully violated
-    const double delta =
-        static_cast<double>(vio_before[i] - index_->RuleViolations(rule));
-    benefit += (*weights_)[static_cast<std::size_t>(rule)] * delta /
+    const double drop = static_cast<double>(index_->RuleViolations(rule) -
+                                            delta.RuleViolations(rule));
+    benefit += (*weights_)[static_cast<std::size_t>(rule)] * drop /
                static_cast<double>(satisfying);
   }
-  index_->ApplyCellChange(update.row, update.attr, old_value);
   return benefit;
 }
 
@@ -50,10 +47,35 @@ VoiRanker::Ranking VoiRanker::Rank(
     const std::vector<UpdateGroup>& groups,
     const ConfirmProbabilityFn& confirm_probability) const {
   Ranking ranking;
-  ranking.scores.resize(groups.size());
-  for (std::size_t i = 0; i < groups.size(); ++i) {
-    ranking.scores[i] = ScoreGroup(groups[i], confirm_probability);
+  ranking.scores.assign(groups.size(), 0.0);
+
+  if (workers_ == nullptr || workers_->size() <= 1 || groups.size() <= 1) {
+    for (std::size_t i = 0; i < groups.size(); ++i) {
+      ranking.scores[i] = ScoreGroup(groups[i], confirm_probability);
+    }
+  } else {
+    // Confirm probabilities may touch the learner bank, which is not
+    // required to be thread-safe — evaluate them up front on this thread.
+    std::vector<std::vector<double>> probabilities(groups.size());
+    for (std::size_t i = 0; i < groups.size(); ++i) {
+      probabilities[i].reserve(groups[i].updates.size());
+      for (const Update& update : groups[i].updates) {
+        probabilities[i].push_back(confirm_probability(update));
+      }
+    }
+    // Each task accumulates its group's terms in update order into its own
+    // slot — the same operations in the same order as the serial path, so
+    // the scores are bit-identical for every thread count.
+    workers_->ParallelFor(groups.size(), [&](std::size_t i) {
+      const UpdateGroup& group = groups[i];
+      double score = 0.0;
+      for (std::size_t j = 0; j < group.updates.size(); ++j) {
+        score += probabilities[i][j] * UpdateBenefit(group.updates[j]);
+      }
+      ranking.scores[i] = score;
+    });
   }
+
   ranking.order.resize(groups.size());
   std::iota(ranking.order.begin(), ranking.order.end(), 0);
   std::stable_sort(ranking.order.begin(), ranking.order.end(),

@@ -9,6 +9,8 @@
 
 namespace gdr {
 
+class ThreadPool;
+
 /// Supplies the learned confirm probability p̃_j for an update: the
 /// prediction probability of the user model once trained, falling back to
 /// the repair score s_j before any feedback exists (Section 4.1, "User
@@ -21,16 +23,24 @@ using ConfirmProbabilityFn = std::function<double(const Update&)>;
 ///   E[g(c)] = Σ_φ w_φ  Σ_{r_j ∈ c}  p̃_j ·
 ///             (vio(D, {φ}) − vio(D^{r_j}, {φ})) / |D^{r_j} ⊨ φ|
 ///
-/// D^{r_j} (the hypothetical database with r_j applied) is evaluated by
-/// applying the cell change to the shared violation index, reading the
-/// affected rules' aggregates, and reverting — no copy of D is made.
-/// Rules not mentioning the update's attribute contribute zero (their
-/// violation counts cannot change) and are skipped.
+/// D^{r_j} (the hypothetical database with r_j applied) is evaluated on a
+/// ViolationDelta — an overlay staging the cell write against the
+/// read-only shared index — so scoring never mutates shared state and any
+/// number of hypotheticals can be evaluated concurrently. Rules not
+/// mentioning the update's attribute contribute zero (their violation
+/// counts cannot change) and are skipped.
+///
+/// When constructed with a ThreadPool, Rank() fans group evaluations out
+/// across the workers. Scores are reduced into per-group slots and each
+/// group's terms are accumulated in the same order as the serial path, so
+/// ranking output is bit-identical for every thread count.
 class VoiRanker {
  public:
-  /// `index` is mutated-and-restored during scoring; `weights` must have
-  /// one entry per rule (Eq. 3 weights). Non-owning pointers.
-  VoiRanker(ViolationIndex* index, const std::vector<double>* weights);
+  /// `index` is read-only; `weights` must have one entry per rule (Eq. 3
+  /// weights); `workers` of nullptr means serial ranking. Non-owning
+  /// pointers.
+  VoiRanker(const ViolationIndex* index, const std::vector<double>* weights,
+            ThreadPool* workers = nullptr);
 
   /// E[g(c)] for one group.
   double ScoreGroup(const UpdateGroup& group,
@@ -38,11 +48,14 @@ class VoiRanker {
 
   /// The benefit term of a single update r_j:
   ///   Σ_φ w_φ (vio(D,{φ}) − vio(D^rj,{φ})) / |D^rj ⊨ φ|
-  /// (without the p̃_j factor).
+  /// (without the p̃_j factor). Pure read: safe to call concurrently.
   double UpdateBenefit(const Update& update) const;
 
   /// Scores all groups; returns indices into `groups` sorted by descending
   /// benefit (ties by ascending index), plus the scores themselves.
+  /// Confirm probabilities are always evaluated serially on the calling
+  /// thread (the learner bank is not required to be thread-safe); only the
+  /// pure index-delta evaluations run on the pool.
   struct Ranking {
     std::vector<std::size_t> order;  // group indices, best first
     std::vector<double> scores;      // aligned with `groups`
@@ -51,8 +64,9 @@ class VoiRanker {
                const ConfirmProbabilityFn& confirm_probability) const;
 
  private:
-  ViolationIndex* index_;
+  const ViolationIndex* index_;
   const std::vector<double>* weights_;
+  ThreadPool* workers_;
 };
 
 }  // namespace gdr

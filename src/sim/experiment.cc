@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "repair/heuristic_repair.h"
+#include "util/stopwatch.h"
 
 namespace gdr {
 
@@ -20,7 +21,9 @@ Result<ExperimentResult> RunStrategyExperiment(
   options.feedback_budget = config.feedback_budget;
   options.ns = config.ns;
   options.seed = config.seed;
+  options.num_threads = config.num_threads;
 
+  const Stopwatch wall_watch;
   GdrEngine engine(&working, &dataset.rules, &oracle, options);
   GDR_RETURN_NOT_OK(engine.Initialize());
 
@@ -47,6 +50,7 @@ Result<ExperimentResult> RunStrategyExperiment(
              evaluator.ImprovementPct(e.index(), result.initial_loss), loss});
       }));
 
+  result.wall_seconds = wall_watch.ElapsedSeconds();
   result.stats = engine.stats();
   result.final_loss = evaluator.Loss(engine.index());
   result.final_improvement_pct =
@@ -62,6 +66,7 @@ Result<ExperimentResult> RunStrategyExperiment(
 
 Result<ExperimentResult> RunHeuristicExperiment(const Dataset& dataset) {
   Table working = dataset.dirty;
+  const Stopwatch wall_watch;
   ViolationIndex index(&working, &dataset.rules);
   const std::vector<double> weights = ContextRuleWeights(index);
   QualityEvaluator evaluator(dataset.clean, &dataset.rules, weights);
@@ -72,6 +77,7 @@ Result<ExperimentResult> RunHeuristicExperiment(const Dataset& dataset) {
   result.curve.push_back({0, 0.0, result.initial_loss});
 
   const HeuristicRepairStats stats = RunBatchRepair(&index, &working);
+  result.wall_seconds = wall_watch.ElapsedSeconds();
   result.final_loss = evaluator.Loss(index);
   result.final_improvement_pct =
       evaluator.ImprovementPct(index, result.initial_loss);

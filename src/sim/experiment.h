@@ -30,6 +30,9 @@ struct ExperimentConfig {
   /// Curve granularity: a point is recorded every `sample_every` labels
   /// (plus the final state).
   std::size_t sample_every = 25;
+  /// Worker threads for VOI ranking (GdrOptions::num_threads: 1 = serial,
+  /// 0 = hardware concurrency). Never changes results, only wall-clock.
+  std::size_t num_threads = 1;
 };
 
 struct ExperimentResult {
@@ -41,6 +44,9 @@ struct ExperimentResult {
   double final_loss = 0.0;
   double final_improvement_pct = 0.0;
   std::int64_t remaining_violations = 0;
+  /// End-to-end wall-clock of the run (engine setup + interactive loop);
+  /// per-phase breakdown is in stats.timings.
+  double wall_seconds = 0.0;
 };
 
 /// Runs one strategy on a copy of `dataset.dirty` against the ground-truth

@@ -84,6 +84,33 @@ TEST(ExperimentTest, FormatCurveNormalizes) {
   EXPECT_FALSE(FormatCurve(curve, 0.0).empty());
 }
 
+TEST(ExperimentTest, PhaseTimingsArePopulated) {
+  Dataset dataset = TinyDataset();
+  ExperimentConfig config;
+  config.strategy = Strategy::kGdrNoLearning;
+  config.feedback_budget = 60;
+  auto result = RunStrategyExperiment(dataset, config);
+  ASSERT_TRUE(result.ok());
+  const GdrTimings& timings = result->stats.timings;
+  EXPECT_GT(timings.init_seconds, 0.0);
+  EXPECT_GT(timings.ranking_seconds, 0.0);  // VOI strategies rank each round
+  EXPECT_GT(timings.session_seconds, 0.0);
+  EXPECT_GT(timings.total_seconds, 0.0);
+  // Run() contains the ranking and session phases.
+  EXPECT_GE(timings.total_seconds,
+            timings.ranking_seconds + timings.session_seconds);
+  // The experiment wall clock wraps Initialize() + Run().
+  EXPECT_GT(result->wall_seconds, 0.0);
+  EXPECT_GE(result->wall_seconds, timings.total_seconds);
+}
+
+TEST(ExperimentTest, HeuristicReportsWallClock) {
+  Dataset dataset = TinyDataset();
+  auto result = RunHeuristicExperiment(dataset);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->wall_seconds, 0.0);
+}
+
 TEST(ExperimentTest, WorksOnDataset2) {
   Dataset dataset = *GenerateDataset2({.num_records = 800, .seed = 44});
   ExperimentConfig config;

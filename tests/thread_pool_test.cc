@@ -1,0 +1,103 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace gdr {
+namespace {
+
+TEST(ThreadPoolTest, SubmitReturnsResults) {
+  ThreadPool pool(2);
+  EXPECT_EQ(pool.size(), 2u);
+  auto a = pool.Submit([] { return 7; });
+  auto b = pool.Submit([] { return std::string("ok"); });
+  EXPECT_EQ(a.get(), 7);
+  EXPECT_EQ(b.get(), "ok");
+}
+
+TEST(ThreadPoolTest, ZeroThreadsClampsToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1u);
+  EXPECT_EQ(pool.Submit([] { return 1; }).get(), 1);
+}
+
+TEST(ThreadPoolTest, ResolveThreadCountConvention) {
+  EXPECT_GE(ThreadPool::ResolveThreadCount(0), 1u);  // 0 = hardware
+  EXPECT_EQ(ThreadPool::ResolveThreadCount(1), 1u);
+  EXPECT_EQ(ThreadPool::ResolveThreadCount(6), 6u);
+}
+
+TEST(ThreadPoolTest, DrainsPendingTasksBeforeShutdown) {
+  std::atomic<int> done{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 64; ++i) {
+      pool.Submit([&done] { ++done; });
+    }
+  }  // destructor must wait for all 64
+  EXPECT_EQ(done.load(), 64);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.ParallelFor(1000, [&hits](std::size_t i) { ++hits[i]; });
+  for (const auto& hit : hits) EXPECT_EQ(hit.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForSmallAndEmptyRanges) {
+  ThreadPool pool(4);
+  pool.ParallelFor(0, [](std::size_t) { FAIL() << "must not be called"; });
+  std::vector<std::atomic<int>> hits(2);
+  pool.ParallelFor(2, [&hits](std::size_t i) { ++hits[i]; });
+  EXPECT_EQ(hits[0].load(), 1);
+  EXPECT_EQ(hits[1].load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForDeterministicOutputSlots) {
+  // Same computation at 1, 2, and 8 workers: identical output vectors.
+  auto run = [](std::size_t threads) {
+    ThreadPool pool(threads);
+    std::vector<double> out(257);
+    pool.ParallelFor(out.size(), [&out](std::size_t i) {
+      out[i] = static_cast<double>(i) * 0.25 + 1.0 / (1.0 + i);
+    });
+    return out;
+  };
+  const std::vector<double> serial = run(1);
+  EXPECT_EQ(run(2), serial);
+  EXPECT_EQ(run(8), serial);
+}
+
+TEST(ThreadPoolTest, SubmitPropagatesExceptions) {
+  ThreadPool pool(2);
+  auto future = pool.Submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(future.get(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, ParallelForPropagatesExceptions) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.ParallelFor(100,
+                                [](std::size_t i) {
+                                  if (i == 57) throw std::runtime_error("57");
+                                }),
+               std::runtime_error);
+  // The pool survives and keeps working.
+  EXPECT_EQ(pool.Submit([] { return 3; }).get(), 3);
+}
+
+TEST(ThreadPoolTest, ParallelForSum) {
+  ThreadPool pool(3);
+  std::vector<long> parts(500);
+  pool.ParallelFor(parts.size(), [&parts](std::size_t i) {
+    parts[i] = static_cast<long>(i);
+  });
+  EXPECT_EQ(std::accumulate(parts.begin(), parts.end(), 0L), 499L * 500 / 2);
+}
+
+}  // namespace
+}  // namespace gdr

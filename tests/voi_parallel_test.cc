@@ -1,0 +1,222 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/voi.h"
+#include "sim/dataset1.h"
+#include "sim/experiment.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace gdr {
+namespace {
+
+// Randomized instance: table + constant/variable rule mix + synthetic
+// candidate pools grouped by (attr, value), as GroupUpdates produces.
+struct RandomVoiInstance {
+  explicit RandomVoiInstance(std::uint64_t seed)
+      : schema(*Schema::Make({"STR", "CT", "STT", "ZIP"})),
+        table(schema),
+        rules(schema),
+        rng(seed) {
+    const char* streets[] = {"Main St", "Oak Ave", "Sherden Rd", "Elm St"};
+    const char* cities[] = {"Fort Wayne", "Westville", "Michigan City"};
+    const char* states[] = {"IN", "IND"};
+    const char* zips[] = {"46825", "46391", "46360", "46802", "46774"};
+    for (int i = 0; i < 80; ++i) {
+      EXPECT_TRUE(table
+                      .AppendRow({streets[rng.NextBounded(4)],
+                                  cities[rng.NextBounded(3)],
+                                  states[rng.NextBounded(2)],
+                                  zips[rng.NextBounded(5)]})
+                      .ok());
+    }
+    EXPECT_TRUE(
+        rules.AddRuleFromString("c1", "ZIP=46360 -> CT=Michigan City ; STT=IN")
+            .ok());
+    EXPECT_TRUE(rules.AddRuleFromString("c2", "ZIP=46391 -> CT=Westville")
+                    .ok());
+    EXPECT_TRUE(rules.AddRuleFromString("v1", "STR, CT -> ZIP").ok());
+    EXPECT_TRUE(rules.AddRuleFromString("v2", "ZIP -> CT").ok());
+    index = std::make_unique<ViolationIndex>(&table, &rules);
+
+    weights.resize(rules.size());
+    for (double& w : weights) w = 0.05 + 0.95 * rng.NextDouble();
+
+    const std::size_t num_groups = 12;
+    for (std::size_t g = 0; g < num_groups; ++g) {
+      UpdateGroup group;
+      group.attr = static_cast<AttrId>(rng.NextBounded(table.num_attrs()));
+      group.value = static_cast<ValueId>(
+          rng.NextBounded(table.DomainSize(group.attr)));
+      const std::size_t members = 3 + rng.NextBounded(12);
+      for (std::size_t row_index :
+           rng.SampleWithoutReplacement(table.num_rows(), members)) {
+        Update update;
+        update.row = static_cast<RowId>(row_index);
+        update.attr = group.attr;
+        update.value = group.value;
+        update.score = rng.NextDouble();
+        group.updates.push_back(update);
+      }
+      groups.push_back(std::move(group));
+    }
+  }
+
+  Schema schema;
+  Table table;
+  RuleSet rules;
+  Rng rng;
+  std::unique_ptr<ViolationIndex> index;
+  std::vector<double> weights;
+  std::vector<UpdateGroup> groups;
+};
+
+// A deterministic stand-in for the learner's p-tilde.
+double Probability(const Update& u) {
+  return 0.1 + 0.8 * u.score;
+}
+
+// The pre-overlay reference semantics: apply the hypothetical to a real
+// index, read the aggregates, revert. Evaluated on private copies so the
+// shared instance stays untouched.
+double LegacyMutateAndRevertBenefit(const Table& table, const RuleSet& rules,
+                                    const std::vector<double>& weights,
+                                    const Update& update) {
+  Table scratch = table;
+  ViolationIndex index(&scratch, &rules);
+  const std::vector<RuleId>& affected = rules.RulesMentioning(update.attr);
+  if (affected.empty()) return 0.0;
+  std::vector<std::int64_t> vio_before(affected.size());
+  for (std::size_t i = 0; i < affected.size(); ++i) {
+    vio_before[i] = index.RuleViolations(affected[i]);
+  }
+  const ValueId old =
+      index.ApplyCellChange(update.row, update.attr, update.value);
+  double benefit = 0.0;
+  for (std::size_t i = 0; i < affected.size(); ++i) {
+    const RuleId rule = affected[i];
+    const std::int64_t satisfying = index.SatisfyingCount(rule);
+    if (satisfying <= 0) continue;
+    const double drop =
+        static_cast<double>(vio_before[i] - index.RuleViolations(rule));
+    benefit += weights[static_cast<std::size_t>(rule)] * drop /
+               static_cast<double>(satisfying);
+  }
+  index.ApplyCellChange(update.row, update.attr, old);
+  return benefit;
+}
+
+class VoiParallelTest : public ::testing::TestWithParam<int> {};
+
+// Differential: the overlay-based benefit is bit-identical to the legacy
+// mutate-and-revert evaluation for every pooled update.
+TEST_P(VoiParallelTest, OverlayBenefitMatchesMutateAndRevert) {
+  RandomVoiInstance inst(static_cast<std::uint64_t>(GetParam()));
+  VoiRanker ranker(inst.index.get(), &inst.weights);
+  for (const UpdateGroup& group : inst.groups) {
+    for (const Update& update : group.updates) {
+      EXPECT_EQ(ranker.UpdateBenefit(update),
+                LegacyMutateAndRevertBenefit(inst.table, inst.rules,
+                                             inst.weights, update));
+    }
+  }
+}
+
+// Differential: parallel scores and the chosen top group are bit-identical
+// to the serial path at 1, 2, and 8 threads.
+TEST_P(VoiParallelTest, ParallelRankingBitIdenticalToSerial) {
+  RandomVoiInstance inst(static_cast<std::uint64_t>(GetParam()));
+
+  VoiRanker serial(inst.index.get(), &inst.weights);
+  const VoiRanker::Ranking reference =
+      serial.Rank(inst.groups, Probability);
+  ASSERT_EQ(reference.scores.size(), inst.groups.size());
+
+  for (std::size_t threads : {1u, 2u, 8u}) {
+    ThreadPool pool(threads);
+    VoiRanker parallel(inst.index.get(), &inst.weights, &pool);
+    const VoiRanker::Ranking ranking =
+        parallel.Rank(inst.groups, Probability);
+    // Exact double equality: same operations in the same order per group.
+    EXPECT_EQ(ranking.scores, reference.scores) << threads << " threads";
+    EXPECT_EQ(ranking.order, reference.order) << threads << " threads";
+    ASSERT_FALSE(ranking.order.empty());
+    EXPECT_EQ(ranking.order.front(), reference.order.front());
+  }
+}
+
+// Scoring through the ranker leaves the shared index and table untouched.
+TEST_P(VoiParallelTest, RankingNeverMutatesSharedState) {
+  RandomVoiInstance inst(static_cast<std::uint64_t>(GetParam()));
+  const Table before = inst.table;
+  const std::int64_t vio_before = inst.index->TotalViolations();
+  const std::uint64_t version_before = inst.index->version();
+
+  ThreadPool pool(4);
+  VoiRanker ranker(inst.index.get(), &inst.weights, &pool);
+  ranker.Rank(inst.groups, Probability);
+
+  EXPECT_EQ(inst.index->TotalViolations(), vio_before);
+  EXPECT_EQ(inst.index->version(), version_before);
+  EXPECT_EQ(*inst.table.CountDifferingCells(before), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VoiParallelTest, ::testing::Range(1, 7));
+
+// Determinism: a full Experiment run with a fixed seed yields identical
+// stats and repair precision/recall regardless of num_threads.
+TEST(VoiParallelDeterminismTest, ExperimentIdenticalAcrossThreadCounts) {
+  const Dataset dataset = *GenerateDataset1({.num_records = 600, .seed = 21});
+
+  auto run = [&dataset](std::size_t num_threads) {
+    ExperimentConfig config;
+    config.strategy = Strategy::kGdr;
+    config.feedback_budget = 60;
+    config.seed = 9;
+    config.sample_every = 10;
+    config.num_threads = num_threads;
+    auto result = RunStrategyExperiment(dataset, config);
+    EXPECT_TRUE(result.ok());
+    return *result;
+  };
+
+  const ExperimentResult reference = run(1);
+  for (std::size_t threads : {2u, 8u}) {
+    const ExperimentResult result = run(threads);
+    const GdrStats& a = reference.stats;
+    const GdrStats& b = result.stats;
+    EXPECT_EQ(a.initial_dirty, b.initial_dirty);
+    EXPECT_EQ(a.user_feedback, b.user_feedback);
+    EXPECT_EQ(a.user_confirms, b.user_confirms);
+    EXPECT_EQ(a.user_rejects, b.user_rejects);
+    EXPECT_EQ(a.user_retains, b.user_retains);
+    EXPECT_EQ(a.user_suggested_values, b.user_suggested_values);
+    EXPECT_EQ(a.learner_decisions, b.learner_decisions);
+    EXPECT_EQ(a.learner_confirms, b.learner_confirms);
+    EXPECT_EQ(a.forced_repairs, b.forced_repairs);
+    EXPECT_EQ(a.outer_iterations, b.outer_iterations);
+
+    EXPECT_EQ(reference.final_loss, result.final_loss);
+    EXPECT_EQ(reference.remaining_violations, result.remaining_violations);
+    EXPECT_EQ(reference.accuracy.updated_cells, result.accuracy.updated_cells);
+    EXPECT_EQ(reference.accuracy.correctly_updated_cells,
+              result.accuracy.correctly_updated_cells);
+    EXPECT_EQ(reference.accuracy.initially_incorrect_cells,
+              result.accuracy.initially_incorrect_cells);
+    EXPECT_EQ(reference.accuracy.Precision(), result.accuracy.Precision());
+    EXPECT_EQ(reference.accuracy.Recall(), result.accuracy.Recall());
+
+    ASSERT_EQ(reference.curve.size(), result.curve.size());
+    for (std::size_t i = 0; i < reference.curve.size(); ++i) {
+      EXPECT_EQ(reference.curve[i].feedback, result.curve[i].feedback);
+      EXPECT_EQ(reference.curve[i].improvement_pct,
+                result.curve[i].improvement_pct);
+      EXPECT_EQ(reference.curve[i].loss, result.curve[i].loss);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gdr
