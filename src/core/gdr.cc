@@ -5,6 +5,7 @@
 #include <optional>
 
 #include "core/quality.h"
+#include "core/session.h"
 #include "util/stopwatch.h"
 
 namespace gdr {
@@ -25,6 +26,24 @@ const char* StrategyName(Strategy strategy) {
       return "Random";
   }
   return "unknown";
+}
+
+Result<Strategy> StrategyFromName(std::string_view name) {
+  static constexpr Strategy kAll[] = {
+      Strategy::kGdr,            Strategy::kGdrSLearning,
+      Strategy::kGdrNoLearning,  Strategy::kActiveLearning,
+      Strategy::kGreedy,         Strategy::kRandomRanking,
+  };
+  for (Strategy strategy : kAll) {
+    if (name == StrategyName(strategy)) return strategy;
+  }
+  std::string known;
+  for (Strategy strategy : kAll) {
+    if (!known.empty()) known += ", ";
+    known += StrategyName(strategy);
+  }
+  return Status::InvalidArgument("unknown strategy '" + std::string(name) +
+                                 "' (expected one of: " + known + ")");
 }
 
 GdrEngine::GdrEngine(Table* table, const RuleSet* rules,
@@ -88,7 +107,7 @@ bool GdrEngine::PickGroup(const std::vector<UpdateGroup>& groups,
       return true;
     }
     case Strategy::kActiveLearning:
-      return false;  // handled by RunActiveLearningLoop
+      return false;  // ungrouped: the session's AL phases drive it
   }
   return false;
 }
@@ -120,8 +139,7 @@ std::vector<Update> GdrEngine::LiveGroupUpdates(
   std::vector<Update> live;
   live.reserve(group.updates.size());
   for (const Update& u : group.updates) {
-    const auto pooled = pool_->Get(u.cell());
-    if (pooled && *pooled == u) live.push_back(u);
+    if (pool_->IsLive(u)) live.push_back(u);
   }
   return live;
 }
@@ -135,10 +153,7 @@ void GdrEngine::OrderForSession(std::vector<Update>* updates) {
       // score breaks ties (higher first), then row for determinism.
       std::vector<std::pair<double, std::size_t>> keyed(updates->size());
       for (std::size_t i = 0; i < updates->size(); ++i) {
-        const Update& u = (*updates)[i];
-        const double uncertainty =
-            bank_->IsTrained(u.attr) ? bank_->Uncertainty(u) : 1.0;
-        keyed[i] = {uncertainty, i};
+        keyed[i] = {bank_->UncertaintyOrMax((*updates)[i]), i};
       }
       std::stable_sort(keyed.begin(), keyed.end(),
                        [updates](const auto& a, const auto& b) {
@@ -178,17 +193,28 @@ void GdrEngine::OrderForSession(std::vector<Update>* updates) {
   }
 }
 
-Status GdrEngine::LabelWithUser(const Update& update,
-                                const ProgressCallback& callback) {
+Status GdrEngine::ApplyUserFeedback(
+    const Update& update, Feedback feedback,
+    const std::optional<std::string>& volunteered,
+    const ProgressCallback& callback) {
   // The session displays the learner's prediction next to each update
   // (Section 4.2); comparing it with the user's actual answer is how the
   // engine measures whether the user could safely delegate to the model.
+  // The prediction must be evaluated before any mutation below: it has to
+  // describe the tuple the user actually saw.
   std::optional<Feedback> predicted;
   if (UsesLearner() && bank_->IsTrained(update.attr)) {
     predicted = bank_->PredictFeedback(update);
   }
-  const Feedback feedback = user_->GetFeedback(*table_, update);
-  if (predicted) {
+  if (UsesLearner()) {
+    // The one failable step runs before any counter moves, so a failed
+    // submission leaves the engine untouched and is safely retryable —
+    // SubmitFeedback's contract. (The example must also be recorded
+    // before the database mutates: features describe the tuple the user
+    // actually saw.)
+    GDR_RETURN_NOT_OK(bank_->AddFeedback(update, feedback));
+  }
+  if (predicted.has_value()) {
     bank_->RecordPredictionOutcome(update.attr, *predicted,
                                    *predicted == feedback);
   }
@@ -204,24 +230,17 @@ Status GdrEngine::LabelWithUser(const Update& update,
       ++stats_.user_retains;
       break;
   }
-  if (UsesLearner()) {
-    // Record the example before mutating the database: features must
-    // describe the tuple the user actually saw.
-    GDR_RETURN_NOT_OK(bank_->AddFeedback(update, feedback));
-  }
   std::vector<AppliedChange> changes =
       manager_->ApplyFeedback(update, feedback);
 
-  if (feedback == Feedback::kReject) {
+  if (feedback == Feedback::kReject && volunteered.has_value()) {
     // Section 4.2: a rejecting user may volunteer the correct value v',
-    // treated as confirming ⟨t, A, v', 1⟩.
-    if (auto suggested = user_->SuggestValue(*table_, update)) {
-      const ValueId v = table_->InternValue(update.attr, *suggested);
-      std::vector<AppliedChange> more =
-          manager_->ApplyUserValue(update.row, update.attr, v);
-      changes.insert(changes.end(), more.begin(), more.end());
-      ++stats_.user_suggested_values;
-    }
+    // treated as confirming ⟨t, A, v', 1⟩. Ignored for other feedback.
+    const ValueId v = table_->InternValue(update.attr, *volunteered);
+    std::vector<AppliedChange> more =
+        manager_->ApplyUserValue(update.row, update.attr, v);
+    changes.insert(changes.end(), more.begin(), more.end());
+    ++stats_.user_suggested_values;
   }
   for (const AppliedChange& change : changes) {
     if (change.forced) ++stats_.forced_repairs;
@@ -242,78 +261,25 @@ Status GdrEngine::ApplyLearnerDecision(const Update& update,
   return Status::OK();
 }
 
-Status GdrEngine::RunGroupSession(const UpdateGroup& group, std::size_t quota,
-                                  const ProgressCallback& callback) {
-  std::size_t labeled = 0;
-  while (labeled < quota && UserBudgetLeft()) {
-    std::vector<Update> live = LiveGroupUpdates(group);
-    if (live.empty()) break;
-    OrderForSession(&live);
-
-    const std::size_t batch =
-        std::min({static_cast<std::size_t>(options_.ns), quota - labeled,
-                  options_.feedback_budget - stats_.user_feedback,
-                  live.size()});
-    for (std::size_t i = 0; i < batch; ++i) {
-      // Re-validate: earlier labels in this batch may have retired or
-      // replaced later suggestions via the consistency manager.
-      const auto pooled = pool_->Get(live[i].cell());
-      if (!pooled || !(*pooled == live[i])) continue;
-      GDR_RETURN_NOT_OK(LabelWithUser(live[i], callback));
-      ++labeled;
-    }
-    if (batch == 0) break;
-    if (UsesLearner()) GDR_RETURN_NOT_OK(bank_->Retrain(group.attr));
-  }
-
+Status GdrEngine::TakeOverGroup(const UpdateGroup& group,
+                                const ProgressCallback& callback) {
   // The user is "satisfied with the learner predictions": the learned
   // model decides the group's remaining updates (Section 4.2) — but only
   // predictions of classes whose recent accuracy earned the delegation.
-  if (UsesLearner() && bank_->IsTrained(group.attr)) {
-    for (const Update& u : LiveGroupUpdates(group)) {
-      const auto pooled = pool_->Get(u.cell());
-      if (!pooled || !(*pooled == u)) continue;
-      if (bank_->Uncertainty(u) > options_.learner_max_uncertainty) continue;
-      const Feedback predicted = bank_->PredictFeedback(u);
-      if (!bank_->IsReliable(u.attr, predicted,
-                             options_.learner_min_accuracy)) {
-        continue;
-      }
-      GDR_RETURN_NOT_OK(ApplyLearnerDecision(u, predicted));
+  if (!UsesLearner() || !bank_->IsTrained(group.attr)) return Status::OK();
+  for (const Update& u : LiveGroupUpdates(group)) {
+    // Re-validate: an earlier decision in this loop may have retired or
+    // replaced later suggestions via the consistency manager.
+    if (!pool_->IsLive(u)) continue;
+    if (bank_->Uncertainty(u) > options_.learner_max_uncertainty) continue;
+    const Feedback predicted = bank_->PredictFeedback(u);
+    if (!bank_->IsReliable(u.attr, predicted, options_.learner_min_accuracy)) {
+      continue;
     }
-    if (callback) callback(*this, stats_.user_feedback);
+    GDR_RETURN_NOT_OK(ApplyLearnerDecision(u, predicted));
   }
+  if (callback) callback(*this, stats_.user_feedback);
   return Status::OK();
-}
-
-Status GdrEngine::RunActiveLearningLoop(const ProgressCallback& callback) {
-  const Stopwatch session_watch;
-  while (UserBudgetLeft() && !pool_->empty() && manager_->HasDirtyRows()) {
-    std::vector<Update> live = pool_->All();
-    OrderForSession(&live);
-    const std::size_t batch =
-        std::min({static_cast<std::size_t>(options_.ns),
-                  options_.feedback_budget - stats_.user_feedback,
-                  live.size()});
-    if (batch == 0) break;
-    std::size_t labeled = 0;
-    std::vector<AttrId> touched;
-    for (std::size_t i = 0; i < batch; ++i) {
-      const auto pooled = pool_->Get(live[i].cell());
-      if (!pooled || !(*pooled == live[i])) continue;
-      GDR_RETURN_NOT_OK(LabelWithUser(live[i], callback));
-      touched.push_back(live[i].attr);
-      ++labeled;
-    }
-    if (labeled == 0) break;
-    std::sort(touched.begin(), touched.end());
-    touched.erase(std::unique(touched.begin(), touched.end()),
-                  touched.end());
-    for (AttrId attr : touched) GDR_RETURN_NOT_OK(bank_->Retrain(attr));
-    ++stats_.outer_iterations;
-  }
-  stats_.timings.session_seconds += session_watch.ElapsedSeconds();
-  return LearnerSweep(callback);
 }
 
 Status GdrEngine::LearnerSweep(const ProgressCallback& callback) {
@@ -322,8 +288,7 @@ Status GdrEngine::LearnerSweep(const ProgressCallback& callback) {
     std::size_t decided = 0;
     for (const Update& u : pool_->All()) {
       if (!bank_->IsTrained(u.attr)) continue;
-      const auto pooled = pool_->Get(u.cell());
-      if (!pooled || !(*pooled == u)) continue;
+      if (!pool_->IsLive(u)) continue;
       if (bank_->Uncertainty(u) > options_.learner_max_uncertainty) continue;
       const Feedback predicted = bank_->PredictFeedback(u);
       if (!bank_->IsReliable(u.attr, predicted,
@@ -341,64 +306,21 @@ Status GdrEngine::LearnerSweep(const ProgressCallback& callback) {
 }
 
 Status GdrEngine::Run(const ProgressCallback& callback) {
+  // Compatibility shim: the loop itself lives in GdrSession; this entry
+  // point pumps one against the blocking FeedbackProvider, which restores
+  // the paper's Procedure 1 call shape (and is bit-identical to it).
   if (!initialized_) {
     return Status::FailedPrecondition("call Initialize() first");
   }
-  const Stopwatch total_watch;
-  if (options_.strategy == Strategy::kActiveLearning) {
-    const Status status = RunActiveLearningLoop(callback);
-    stats_.timings.total_seconds += total_watch.ElapsedSeconds();
-    return status;
+  if (user_ == nullptr) {
+    return Status::FailedPrecondition(
+        "engine has no FeedbackProvider; construct a GdrSession over it "
+        "and drive the session directly");
   }
-
-  const bool ranks_by_voi = options_.strategy == Strategy::kGdr ||
-                            options_.strategy == Strategy::kGdrSLearning ||
-                            options_.strategy == Strategy::kGdrNoLearning;
-
-  int iterations = 0;
-  while (iterations < options_.max_outer_iterations &&
-         manager_->HasDirtyRows() && !pool_->empty() && UserBudgetLeft()) {
-    ++iterations;
-    ++stats_.outer_iterations;
-
-    const std::vector<UpdateGroup> groups = GroupUpdates(*pool_);
-    if (groups.empty()) break;
-
-    VoiRanker::Ranking ranking;
-    if (ranks_by_voi) {
-      const Stopwatch ranking_watch;
-      ranking = voi_->Rank(groups, [this](const Update& u) {
-        return bank_->ConfirmProbability(u);
-      });
-      stats_.timings.ranking_seconds += ranking_watch.ElapsedSeconds();
-    }
-
-    std::size_t picked = 0;
-    double gmax = 0.0;
-    if (!PickGroup(groups, ranking, &picked, &gmax)) break;
-    const double score = ranks_by_voi ? ranking.scores[picked] : 0.0;
-
-    const std::size_t before_feedback = stats_.user_feedback;
-    const std::size_t before_decisions = stats_.learner_decisions;
-    const Stopwatch session_watch;
-    const Status session_status = RunGroupSession(
-        groups[picked], GroupQuota(groups[picked], score, gmax), callback);
-    stats_.timings.session_seconds += session_watch.ElapsedSeconds();
-    GDR_RETURN_NOT_OK(session_status);
-
-    if (stats_.user_feedback == before_feedback &&
-        stats_.learner_decisions == before_decisions) {
-      break;  // no progress possible (e.g., every suggestion went stale)
-    }
-  }
-
-  if (UsesLearner() && !UserBudgetLeft()) {
-    // The user budget is exhausted; the learned models decide the rest of
-    // the pool (Appendix B.1's protocol).
-    GDR_RETURN_NOT_OK(LearnerSweep(callback));
-  }
-  stats_.timings.total_seconds += total_watch.ElapsedSeconds();
-  return Status::OK();
+  GdrSession session(this);
+  session.SetProgressCallback(callback);
+  GDR_RETURN_NOT_OK(session.Start());
+  return PumpSession(&session, user_);
 }
 
 }  // namespace gdr

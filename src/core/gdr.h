@@ -4,6 +4,9 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "cfd/violation_index.h"
@@ -43,11 +46,22 @@ enum class Strategy {
 
 const char* StrategyName(Strategy strategy);
 
+/// Inverse of StrategyName: parses "GDR", "GDR-S-Learning",
+/// "GDR-NoLearning", "Active-Learning", "Greedy", "Random"
+/// (case-sensitive, exactly as StrategyName prints them). Returns
+/// InvalidArgument for anything else, listing the accepted names.
+Result<Strategy> StrategyFromName(std::string_view name);
+
 struct GdrOptions {
+  /// Sentinel for "no feedback budget": the user keeps answering until the
+  /// database is clean or the pool is exhausted.
+  static constexpr std::size_t kUnlimitedBudget =
+      static_cast<std::size_t>(-1);
+
   Strategy strategy = Strategy::kGdr;
   /// Maximum number of updates the user will verify (the F of Appendix
   /// B.1); unlimited by default.
-  std::size_t feedback_budget = static_cast<std::size_t>(-1);
+  std::size_t feedback_budget = kUnlimitedBudget;
   /// Labels per interactive round n_s (Section 4.2): the user inspects the
   /// n_s top-ordered updates, then the model retrains and reorders.
   int ns = 5;
@@ -83,7 +97,10 @@ struct GdrTimings {
   double ranking_seconds = 0.0;  // Step 4: VOI group ranking
   double session_seconds = 0.0;  // group sessions: labels + cascades
   double learner_sweep_seconds = 0.0;  // budget-exhaustion sweeps
-  double total_seconds = 0.0;          // the whole Run()
+  /// Machine time spent inside the session API (NextBatch + SubmitFeedback
+  /// bodies). Deliberately excludes the user's think-time between pulls —
+  /// a pull-based session may idle for hours while feedback is pending.
+  double total_seconds = 0.0;
 };
 
 struct GdrStats {
@@ -103,21 +120,32 @@ struct GdrStats {
   GdrTimings timings;
 };
 
-/// The GDR framework of Figure 2: orchestrates the consistency manager,
-/// the VOI ranking, and the learning component around a FeedbackProvider
-/// (Procedure 1).
+class GdrSession;
+
+/// The GDR framework of Figure 2: the component container (violation
+/// index, update pool, consistency manager, learner bank, VOI ranker) plus
+/// the per-strategy *step functions* of Procedure 1. The interactive loop
+/// itself lives in GdrSession (core/session.h), which sequences these
+/// steps between feedback pulls; `Run()` survives as a compatibility shim
+/// that pumps a session with a blocking FeedbackProvider.
 ///
-/// Typical use:
+/// Legacy (push) use:
 ///   GdrEngine engine(&table, &rules, &user, options);
 ///   GDR_RETURN_NOT_OK(engine.Initialize());
 ///   GDR_RETURN_NOT_OK(engine.Run(callback));
+///
+/// Pull use (production shape — see core/session.h):
+///   GdrSession session(&table, &rules, options);
+///   GDR_RETURN_NOT_OK(session.Start());
+///   while (session.state() != SessionState::kDone) { ... NextBatch ... }
 ///
 /// The table is repaired in place. The engine never reads ground truth;
 /// experiment metrics are computed by the caller against engine.index().
 class GdrEngine {
  public:
   /// All pointers are non-owning and must outlive the engine. `table` is
-  /// the dirty instance to repair.
+  /// the dirty instance to repair. `user` may be nullptr when the engine
+  /// is driven through a GdrSession (only the Run() shim needs it).
   GdrEngine(Table* table, const RuleSet* rules, FeedbackProvider* user,
             GdrOptions options = {});
 
@@ -135,12 +163,17 @@ class GdrEngine {
   using ProgressCallback =
       std::function<void(const GdrEngine& engine, std::size_t user_feedback)>;
 
-  /// Steps 3–10 of Procedure 1: the interactive loop. Terminates when the
-  /// database is clean, the candidate pool is exhausted, the feedback
+  /// Steps 3–10 of Procedure 1: the interactive loop, as a compatibility
+  /// shim. Constructs a GdrSession over this engine and pumps it against
+  /// the FeedbackProvider passed at construction (which must be non-null
+  /// for this entry point). Behavior, stats, and repairs are bit-identical
+  /// to driving the session by hand with the same answers. Terminates when
+  /// the database is clean, the candidate pool is exhausted, the feedback
   /// budget is spent (after the final learner sweep, for learning
   /// strategies), or an iteration makes no progress.
   Status Run(const ProgressCallback& callback = nullptr);
 
+  const Table& table() const { return *table_; }
   const ViolationIndex& index() const { return *index_; }
   const UpdatePool& pool() const { return *pool_; }
   const GdrStats& stats() const { return stats_; }
@@ -149,6 +182,12 @@ class GdrEngine {
   const ConsistencyManager& consistency() const { return *manager_; }
 
  private:
+  // The loop position (which group, how far into its quota, which batch is
+  // awaiting feedback) lives in GdrSession; the engine contributes the
+  // state-free per-strategy step functions below, each resumable at any
+  // point because all of its inputs are engine components.
+  friend class GdrSession;
+
   bool UsesLearner() const {
     return options_.strategy == Strategy::kGdr ||
            options_.strategy == Strategy::kGdrSLearning ||
@@ -168,19 +207,19 @@ class GdrEngine {
   std::size_t GroupQuota(const UpdateGroup& group, double score,
                          double gmax) const;
 
-  // One unit of user feedback on `update`; applies it, trains the bank
-  // (learning strategies), handles volunteered values.
-  Status LabelWithUser(const Update& update,
+  // One unit of user feedback on `update`: records the prediction outcome
+  // against the displayed model prediction, updates stats, trains the bank
+  // (learning strategies), applies the feedback through the consistency
+  // manager, and applies a volunteered correct value (reject only).
+  Status ApplyUserFeedback(const Update& update, Feedback feedback,
+                           const std::optional<std::string>& volunteered,
+                           const ProgressCallback& callback);
+
+  // Learner take-over of one group (Section 4.2's "user is satisfied with
+  // the learner predictions"): the trained, reliable, confident model
+  // decides the group's remaining pooled updates.
+  Status TakeOverGroup(const UpdateGroup& group,
                        const ProgressCallback& callback);
-
-  // Interactive session on one group (Section 4.2). `quota` bounds user
-  // labels; afterwards the learner decides the group's remaining updates
-  // (learning strategies with a trained model).
-  Status RunGroupSession(const UpdateGroup& group, std::size_t quota,
-                         const ProgressCallback& callback);
-
-  // The ungrouped Active-Learning baseline loop.
-  Status RunActiveLearningLoop(const ProgressCallback& callback);
 
   // Applies learner predictions to every pooled update with a trained
   // model (budget-exhaustion sweep).

@@ -70,6 +70,14 @@ class LearnerBank {
   /// ordering score). Requires IsTrained(attr).
   double Uncertainty(const Update& update) const;
 
+  /// Uncertainty with the untrained fallback applied: committee
+  /// disagreement once the attribute's model predicts, 1.0 (maximally
+  /// uncertain) before. The uncertainty-ordering and the session batch
+  /// metadata both use this form.
+  double UncertaintyOrMax(const Update& update) const {
+    return IsTrained(update.attr) ? Uncertainty(update) : 1.0;
+  }
+
   /// p̃_j for VOI: the committee's confirm-vote fraction when trained,
   /// otherwise the update's repair score s_j (Section 4.1, "User Model").
   double ConfirmProbability(const Update& update) const;

@@ -1,0 +1,305 @@
+#ifndef GDR_CORE_SESSION_H_
+#define GDR_CORE_SESSION_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/gdr.h"
+#include "util/result.h"
+
+namespace gdr {
+
+/// Where the interactive loop currently stands, from the caller's side.
+enum class SessionState {
+  /// A batch has been delivered by NextBatch() and at least one of its
+  /// suggestions is still unresolved; the machine is idle until feedback
+  /// arrives (or the caller pulls again, abandoning the remainder).
+  kAwaitingFeedback,
+  /// Between batches: machine steps (retrain, reorder, learner take-over,
+  /// group transition, ranking) are pending and run on the next
+  /// NextBatch() call.
+  kRanking,
+  /// The loop has terminated (final learner sweep included, where the
+  /// strategy has one). NextBatch() returns an empty batch.
+  kDone,
+};
+
+const char* SessionStateName(SessionState state);
+
+/// Per-call result of SubmitFeedback.
+enum class FeedbackOutcome {
+  /// The feedback was consumed: stats, learner, and database advanced.
+  kApplied,
+  /// The suggestion was retired or replaced (by a consistency cascade from
+  /// an earlier answer) between delivery and submission. Nothing was
+  /// consumed — in particular no budget — matching the legacy loop, which
+  /// skipped stale suggestions without consulting the user.
+  kStale,
+  /// This update_id was already resolved; the call was a no-op.
+  kDuplicate,
+  /// The update_id does not belong to the outstanding batch (never issued,
+  /// or abandoned by a later NextBatch()); the call was a no-op.
+  kUnknownId,
+};
+
+/// One machine-ranked suggestion handed to the caller, with the metadata a
+/// review UI needs to present it (Section 4.2's group session screen).
+struct SuggestedUpdate {
+  /// Session-unique handle for SubmitFeedback. Ids are assigned in
+  /// delivery order and are stable across Snapshot()/Restore().
+  std::uint64_t update_id = 0;
+  Update update;
+  /// The group the suggestion was presented under: all members share
+  /// (attribute := suggested value). For the ungrouped Active-Learning
+  /// strategy this is the update's own cell attribute/value.
+  AttrId group_attr = kInvalidAttrId;
+  ValueId group_value = kInvalidValueId;
+  /// E[g(c)] of the group under the current ranking (Eq. 6); 0.0 for
+  /// strategies that do not rank by VOI.
+  double voi_score = 0.0;
+  /// Committee disagreement entropy in [0,1]; 1.0 before the attribute's
+  /// model is trained.
+  double uncertainty = 1.0;
+  /// User labels remaining after this batch was formed
+  /// (GdrOptions::kUnlimitedBudget when no budget is set).
+  std::size_t budget_remaining = GdrOptions::kUnlimitedBudget;
+};
+
+/// A serializable record of a session's loop position. Event-sourced: the
+/// snapshot is the exact sequence of API calls (pulls and submissions)
+/// that produced the current state. Because every component is
+/// deterministic under a fixed seed, replaying the events against a fresh
+/// session over the *original dirty table* reconstructs the pool, the
+/// learner bank (training sets, forests, rolling accuracy), the RNG
+/// streams, and the stats bit-for-bit — which is what lets a session
+/// survive a process restart without serializing any of those directly.
+struct SessionSnapshot {
+  struct Event {
+    enum class Kind : std::uint8_t { kPull = 0, kSubmit = 1 };
+    Kind kind = Kind::kPull;
+    std::uint64_t update_id = 0;          // kSubmit only
+    Feedback feedback = Feedback::kConfirm;  // kSubmit only
+    /// Whether the submission was consumed (kApplied) or hit a stale
+    /// suggestion (kStale). Replay must reproduce the same outcome;
+    /// a mismatch means the table was not reloaded in its original
+    /// dirty state, and Restore() rejects it.
+    bool applied = false;                 // kSubmit only
+    bool has_value = false;               // volunteered value present?
+    std::string value;                    // kSubmit only, when has_value
+
+    bool operator==(const Event&) const = default;
+  };
+
+  /// The options the session ran under, for compatibility validation at
+  /// Restore() time. The caller is responsible for reconstructing the
+  /// full GdrOptions (replay assumes every knob matches — a silent
+  /// mismatch anywhere, including nested learner/forest options, diverges
+  /// the replay); these scalar loop knobs are carried along so the common
+  /// mistakes are caught loudly instead.
+  Strategy strategy = Strategy::kGdr;
+  std::uint64_t seed = 0;
+  std::size_t feedback_budget = GdrOptions::kUnlimitedBudget;
+  int ns = 0;
+  int max_outer_iterations = 0;
+  int learner_sweep_passes = 0;
+  double learner_max_uncertainty = 0.0;
+  double learner_min_accuracy = 0.0;
+
+  std::vector<Event> events;
+
+  /// Plain-text wire format (versioned header + length-prefixed values,
+  /// so volunteered strings may contain any bytes).
+  std::string Serialize() const;
+  static Result<SessionSnapshot> Deserialize(std::string_view text);
+};
+
+/// The pull-based interactive loop of Procedure 1, inverted: instead of
+/// GdrEngine::Run() owning the loop and calling *out* to a blocking
+/// FeedbackProvider, the caller pulls the next batch of machine-ranked
+/// suggestions and pushes feedback whenever it arrives — per update, in
+/// any order, at any later time. All machine steps (retrain, reorder,
+/// learner take-over, consistency cascades, group transitions, the final
+/// learner sweep) run inside NextBatch()/SubmitFeedback(); between calls
+/// the session holds an explicit loop position, so one process can
+/// multiplex many sessions and a snapshot can move a session across
+/// process restarts.
+///
+///   GdrSession session(&table, &rules, options);
+///   GDR_RETURN_NOT_OK(session.Start());
+///   while (session.state() != SessionState::kDone) {
+///     auto batch = session.NextBatch();            // ≤ ns suggestions
+///     for (const SuggestedUpdate& s : *batch) {
+///       if (!session.IsLive(s.update_id)) continue;
+///       ... show s to the user, await their answer ...
+///       session.SubmitFeedback(s.update_id, answer);
+///     }
+///   }
+///
+/// Pumping a session with a FeedbackProvider (PumpSession below) is
+/// bit-identical to the legacy GdrEngine::Run() — same stats, same
+/// repairs, every seed, every strategy, every thread count.
+class GdrSession {
+ public:
+  /// Owns its engine: `table` and `rules` are non-owning and must outlive
+  /// the session; the table is repaired in place.
+  GdrSession(Table* table, const RuleSet* rules, GdrOptions options = {});
+
+  /// Wraps an existing engine (non-owning; must outlive the session).
+  /// Used by the Run() shim; also lets harnesses inspect engine internals
+  /// while driving the session.
+  explicit GdrSession(GdrEngine* engine);
+
+  ~GdrSession();
+
+  GdrSession(const GdrSession&) = delete;
+  GdrSession& operator=(const GdrSession&) = delete;
+
+  /// Initializes the engine if needed and arms the loop. Must be called
+  /// (once) before NextBatch(); Restore() calls it internally.
+  Status Start();
+
+  SessionState state() const { return state_; }
+
+  /// Runs pending machine steps and returns the next batch: the ≤ n_s
+  /// top-ordered suggestions of the current group session (VOI-ranked
+  /// groups, uncertainty- or strategy-ordered within the group), each with
+  /// presentation metadata. Returns an empty vector once the loop is done.
+  /// Pulling while a batch is still outstanding abandons the unresolved
+  /// remainder — those suggestions stay in the pool and reappear in later
+  /// batches (they are never silently dropped).
+  Result<std::vector<SuggestedUpdate>> NextBatch();
+
+  /// Pushes one unit of user feedback for a delivered suggestion. On
+  /// kReject the user may volunteer the correct value, which is applied as
+  /// a confirmed ⟨t, A, v', 1⟩ (Section 4.2). Safe to call in any order
+  /// within the outstanding batch and at any time before the next pull.
+  Result<FeedbackOutcome> SubmitFeedback(
+      std::uint64_t update_id, Feedback feedback,
+      std::optional<std::string> suggested_value = std::nullopt);
+
+  /// True while `update_id` is outstanding *and* its suggestion is still
+  /// the pool's live entry for the cell. A pump should skip dead ids
+  /// instead of asking the user about them.
+  bool IsLive(std::uint64_t update_id) const;
+
+  /// The unresolved suggestions of the outstanding batch, in delivery
+  /// order. Empty unless state() == kAwaitingFeedback. After Restore(),
+  /// this is where a resumed UI picks up mid-batch.
+  std::vector<SuggestedUpdate> Outstanding() const;
+
+  /// Invoked after every applied label and after every learner batch, with
+  /// the engine in a consistent state — the same hook Run() exposes.
+  /// Suppressed while Restore() replays history (the events already fired
+  /// in the original session).
+  void SetProgressCallback(GdrEngine::ProgressCallback callback);
+
+  const GdrEngine& engine() const { return *engine_; }
+  const Table& table() const { return engine_->table(); }
+  const GdrStats& stats() const { return engine_->stats(); }
+
+  /// The session's event log since Start(), restorable at any point —
+  /// including mid-batch. Cheap: the log is maintained incrementally.
+  SessionSnapshot Snapshot() const;
+
+  /// Rebuilds the loop position recorded in `snapshot` by replaying its
+  /// events. Requirements: the session has not been started (Restore
+  /// starts it), the engine is pristine (freshly constructed over the
+  /// *original dirty table* — replay re-applies every repair), and the
+  /// session's strategy/seed/ns/feedback_budget match the snapshot's.
+  /// After a successful restore the session continues exactly where the
+  /// snapshotted one stood: same pool, learner bank, RNG streams, stats,
+  /// outstanding batch, and update-id sequence.
+  Status Restore(const SessionSnapshot& snapshot);
+
+ private:
+  // Loop position between API calls. The grouped strategies and the
+  // ungrouped Active-Learning baseline have disjoint phase sets; both
+  // funnel into kFinalSweep → kDone.
+  enum class Phase {
+    kNotStarted,
+    // Grouped strategies (all but kActiveLearning):
+    kIterationStart,  // outer-loop check, group, rank, pick, quota
+    kRoundStart,      // inner-round check, order, form + deliver a batch
+    kBatchOut,        // a delivered batch awaits feedback
+    kRoundEnd,        // batch resolved/abandoned: retrain, next round
+    kTakeOver,        // learner decides the group's remainder; epilogue
+    // Active-Learning:
+    kAlRoundStart,  // loop check, order pool, form + deliver a batch
+    kAlBatchOut,    // a delivered batch awaits feedback
+    kAlRoundEnd,    // retrain touched attributes or terminate
+    // Common tail:
+    kFinalSweep,  // budget-exhaustion learner sweep where applicable
+    kDone,
+  };
+
+  // One delivered suggestion awaiting (or already given) feedback.
+  struct OutstandingEntry {
+    SuggestedUpdate suggestion;
+    bool resolved = false;
+  };
+
+  // Runs machine steps until a batch is delivered (returned in `batch`)
+  // or the loop completes (empty `batch`, state kDone).
+  Status Advance(std::vector<SuggestedUpdate>* batch);
+  // One phase step each; return the next phase via phase_.
+  Status StepIterationStart();
+  Status StepRoundStart(std::vector<SuggestedUpdate>* batch);
+  Status StepRoundEnd();
+  Status StepTakeOver();
+  Status StepAlRoundStart(std::vector<SuggestedUpdate>* batch);
+  Status StepAlRoundEnd();
+  Status StepFinalSweep();
+
+  // Packages live[0..count) as the outstanding batch.
+  void DeliverBatch(const std::vector<Update>& live, std::size_t count,
+                    AttrId group_attr, ValueId group_value, double voi_score,
+                    std::vector<SuggestedUpdate>* batch);
+
+  bool RanksByVoi() const;
+
+  GdrEngine* engine_;                     // the components + step functions
+  std::unique_ptr<GdrEngine> owned_engine_;  // set by the owning ctor
+  GdrEngine::ProgressCallback callback_;
+
+  SessionState state_ = SessionState::kRanking;
+  Phase phase_ = Phase::kNotStarted;
+
+  // Grouped-iteration position.
+  int iterations_ = 0;
+  std::vector<UpdateGroup> groups_;
+  VoiRanker::Ranking ranking_;
+  std::size_t picked_group_ = 0;
+  double group_score_ = 0.0;
+  std::size_t quota_ = 0;
+  std::size_t labeled_in_group_ = 0;
+  std::size_t before_feedback_ = 0;
+  std::size_t before_decisions_ = 0;
+
+  // Active-Learning round position.
+  std::size_t labeled_in_round_ = 0;
+  std::vector<AttrId> touched_attrs_;
+
+  // The outstanding batch.
+  std::vector<OutstandingEntry> outstanding_;
+  std::size_t resolved_count_ = 0;
+  std::uint64_t next_update_id_ = 1;
+
+  // Event log backing Snapshot(); replay suppresses callbacks.
+  std::vector<SessionSnapshot::Event> log_;
+  bool replaying_ = false;
+};
+
+/// Drives `session` to completion with a blocking FeedbackProvider: pull a
+/// batch, ask `user` about each still-live suggestion (collecting a
+/// volunteered value after a reject), push the answer, repeat until done.
+/// This is the whole legacy loop — GdrEngine::Run() is this function plus
+/// a session constructed over the engine.
+Status PumpSession(GdrSession* session, FeedbackProvider* user);
+
+}  // namespace gdr
+
+#endif  // GDR_CORE_SESSION_H_

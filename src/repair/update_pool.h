@@ -32,6 +32,15 @@ class UpdatePool {
 
   bool Contains(CellKey cell) const { return pool_.contains(cell); }
 
+  /// True when `update` is exactly the pool's current suggestion for its
+  /// cell. This is the staleness re-validation performed before consuming
+  /// feedback: an update delivered earlier may have been retired (cell
+  /// frozen) or replaced (regenerated suggestion) by a consistency cascade.
+  bool IsLive(const Update& update) const {
+    auto it = pool_.find(update.cell());
+    return it != pool_.end() && it->second == update;
+  }
+
   std::size_t size() const { return pool_.size(); }
   bool empty() const { return pool_.empty(); }
 

@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "core/session.h"
 #include "repair/heuristic_repair.h"
 #include "util/stopwatch.h"
 
@@ -40,15 +41,26 @@ Result<ExperimentResult> RunStrategyExperiment(
   result.curve.push_back({0, 0.0, result.initial_loss});
   std::size_t last_sampled = 0;
 
-  GDR_RETURN_NOT_OK(
-      engine.Run([&](const GdrEngine& e, std::size_t feedback) {
+  const GdrEngine::ProgressCallback record_point =
+      [&](const GdrEngine& e, std::size_t feedback) {
         if (feedback < last_sampled + sample_every) return;
         last_sampled = feedback;
         const double loss = evaluator.Loss(e.index());
         result.curve.push_back(
             {feedback,
              evaluator.ImprovementPct(e.index(), result.initial_loss), loss});
-      }));
+      };
+  if (config.driver == ExperimentDriver::kSessionPump) {
+    // Drive the pull API directly: same oracle, same callback, same
+    // results — but through NextBatch()/SubmitFeedback() instead of the
+    // Run() shim.
+    GdrSession session(&engine);
+    session.SetProgressCallback(record_point);
+    GDR_RETURN_NOT_OK(session.Start());
+    GDR_RETURN_NOT_OK(PumpSession(&session, &oracle));
+  } else {
+    GDR_RETURN_NOT_OK(engine.Run(record_point));
+  }
 
   result.wall_seconds = wall_watch.ElapsedSeconds();
   result.stats = engine.stats();

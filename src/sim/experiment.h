@@ -20,10 +20,20 @@ struct CurvePoint {
   double loss = 0.0;             // L(D) (Eq. 3) at this point
 };
 
+/// Which entry point RunStrategyExperiment drives. Both produce
+/// bit-identical results (the session differential tests enforce it);
+/// exercising both keeps the legacy shim and the pull API equally honest.
+enum class ExperimentDriver {
+  /// Legacy push loop: GdrEngine::Run() with the oracle as provider.
+  kEngineRun,
+  /// Pull loop: a GdrSession pumped batch-by-batch against the oracle.
+  kSessionPump,
+};
+
 struct ExperimentConfig {
   Strategy strategy = Strategy::kGdr;
   /// User label budget F; unlimited runs until convergence/exhaustion.
-  std::size_t feedback_budget = static_cast<std::size_t>(-1);
+  std::size_t feedback_budget = GdrOptions::kUnlimitedBudget;
   int ns = 5;
   std::uint64_t seed = 42;
   double volunteer_probability = 0.0;
@@ -33,6 +43,8 @@ struct ExperimentConfig {
   /// Worker threads for VOI ranking (GdrOptions::num_threads: 1 = serial,
   /// 0 = hardware concurrency). Never changes results, only wall-clock.
   std::size_t num_threads = 1;
+  /// Entry point under test; results are identical either way.
+  ExperimentDriver driver = ExperimentDriver::kEngineRun;
 };
 
 struct ExperimentResult {

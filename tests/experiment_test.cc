@@ -1,5 +1,7 @@
 #include "sim/experiment.h"
 
+#include <sstream>
+
 #include <gtest/gtest.h>
 
 #include "sim/dataset1.h"
@@ -82,6 +84,34 @@ TEST(ExperimentTest, FormatCurveNormalizes) {
   EXPECT_NE(text.find("50\t40"), std::string::npos);
   // Zero denominator is safe.
   EXPECT_FALSE(FormatCurve(curve, 0.0).empty());
+}
+
+TEST(ExperimentTest, FormatCurveEmptyCurveIsEmptyString) {
+  EXPECT_EQ(FormatCurve({}, 100.0), "");
+  EXPECT_EQ(FormatCurve({}, 0.0), "");
+}
+
+TEST(ExperimentTest, FormatCurveDegenerateDenominatorsClampToZeroPct) {
+  // A zero or negative denominator (e.g. a strategy that needed no
+  // feedback at all) must not divide: every x becomes 0, y is preserved.
+  const std::vector<CurvePoint> curve = {{0, 0.0, 1.0}, {25, 80.0, 0.2}};
+  for (double denominator : {0.0, -3.5}) {
+    const std::string text = FormatCurve(curve, denominator);
+    std::istringstream lines(text);
+    std::string line;
+    std::size_t rows = 0;
+    while (std::getline(lines, line)) {
+      EXPECT_EQ(line.substr(0, 2), "0\t") << line;
+      ++rows;
+    }
+    EXPECT_EQ(rows, curve.size());
+  }
+  EXPECT_NE(FormatCurve(curve, 0.0).find("80"), std::string::npos);
+}
+
+TEST(ExperimentTest, FormatCurveSinglePoint) {
+  const std::vector<CurvePoint> curve = {{10, 55.5, 0.4}};
+  EXPECT_EQ(FormatCurve(curve, 20.0), "50\t55.5\n");
 }
 
 TEST(ExperimentTest, PhaseTimingsArePopulated) {

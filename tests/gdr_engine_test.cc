@@ -171,5 +171,27 @@ TEST(GdrEngineTest, StrategyNames) {
   EXPECT_STREQ(StrategyName(Strategy::kRandomRanking), "Random");
 }
 
+TEST(GdrEngineTest, StrategyNamesRoundTripThroughParser) {
+  for (Strategy strategy :
+       {Strategy::kGdr, Strategy::kGdrSLearning, Strategy::kGdrNoLearning,
+        Strategy::kActiveLearning, Strategy::kGreedy,
+        Strategy::kRandomRanking}) {
+    auto parsed = StrategyFromName(StrategyName(strategy));
+    ASSERT_TRUE(parsed.ok()) << StrategyName(strategy);
+    EXPECT_EQ(*parsed, strategy);
+  }
+}
+
+TEST(GdrEngineTest, StrategyFromNameRejectsUnknownNames) {
+  for (const char* bad : {"", "gdr", "GDR ", "Passive", "random"}) {
+    auto parsed = StrategyFromName(bad);
+    ASSERT_FALSE(parsed.ok()) << "'" << bad << "'";
+    EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+    // The error lists the accepted spellings, so a REPL user can recover.
+    EXPECT_NE(parsed.status().message().find("GDR-S-Learning"),
+              std::string::npos);
+  }
+}
+
 }  // namespace
 }  // namespace gdr

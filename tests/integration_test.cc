@@ -68,7 +68,7 @@ TEST_F(IntegrationFixture, VoiRankingBeatsRandomOnDataset1) {
 
 TEST_F(IntegrationFixture, GdrBeatsHeuristicGivenEnoughFeedback) {
   const ExperimentResult gdr =
-      Run(*dataset1_, Strategy::kGdr, static_cast<std::size_t>(-1));
+      Run(*dataset1_, Strategy::kGdr, GdrOptions::kUnlimitedBudget);
   auto heuristic = RunHeuristicExperiment(*dataset1_);
   ASSERT_TRUE(heuristic.ok());
   EXPECT_GT(gdr.final_improvement_pct, heuristic->final_improvement_pct);

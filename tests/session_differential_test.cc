@@ -1,0 +1,261 @@
+// The acceptance contract of the session redesign: GdrEngine::Run() (the
+// compatibility shim) and a hand-pumped GdrSession produce bit-identical
+// GdrStats, repaired tables, and quality curves for every strategy at
+// fixed seeds — and a Snapshot() taken mid-session (mid-group, mid-batch,
+// post-retrain) Restore()s to the identical final result.
+#include <optional>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/session.h"
+#include "sim/dataset1.h"
+#include "sim/experiment.h"
+#include "sim/oracle.h"
+
+namespace gdr {
+namespace {
+
+constexpr Strategy kAllStrategies[] = {
+    Strategy::kGdr,           Strategy::kGdrSLearning,
+    Strategy::kGdrNoLearning, Strategy::kActiveLearning,
+    Strategy::kGreedy,        Strategy::kRandomRanking,
+};
+
+Dataset SmallDataset() {
+  return *GenerateDataset1({.num_records = 600, .seed = 21});
+}
+
+void ExpectSameStats(const GdrStats& a, const GdrStats& b,
+                     const std::string& label) {
+  EXPECT_EQ(a.initial_dirty, b.initial_dirty) << label;
+  EXPECT_EQ(a.user_feedback, b.user_feedback) << label;
+  EXPECT_EQ(a.user_confirms, b.user_confirms) << label;
+  EXPECT_EQ(a.user_rejects, b.user_rejects) << label;
+  EXPECT_EQ(a.user_retains, b.user_retains) << label;
+  EXPECT_EQ(a.user_suggested_values, b.user_suggested_values) << label;
+  EXPECT_EQ(a.learner_decisions, b.learner_decisions) << label;
+  EXPECT_EQ(a.learner_confirms, b.learner_confirms) << label;
+  EXPECT_EQ(a.forced_repairs, b.forced_repairs) << label;
+  EXPECT_EQ(a.outer_iterations, b.outer_iterations) << label;
+}
+
+// Answers one suggestion with the oracle (collecting a volunteered value
+// after a reject, like the shim does). Returns false on session error.
+void AnswerOne(GdrSession* session, const SuggestedUpdate& s,
+               UserOracle* oracle) {
+  if (!session->IsLive(s.update_id)) return;
+  const Feedback feedback = oracle->GetFeedback(session->table(), s.update);
+  std::optional<std::string> volunteered;
+  if (feedback == Feedback::kReject) {
+    volunteered = oracle->SuggestValue(session->table(), s.update);
+  }
+  ASSERT_TRUE(
+      session->SubmitFeedback(s.update_id, feedback, volunteered).ok());
+}
+
+TEST(SessionDifferentialTest, ShimAndHandPumpedSessionAreBitIdentical) {
+  const Dataset dataset = SmallDataset();
+  for (Strategy strategy : kAllStrategies) {
+    GdrOptions options;
+    options.strategy = strategy;
+    options.feedback_budget = 100;
+    options.seed = 9;
+
+    UserOracleOptions oracle_options;
+    oracle_options.volunteer_probability = 0.3;
+    oracle_options.seed = 91;
+
+    // A: the legacy push loop through the Run() shim.
+    Table table_a = dataset.dirty;
+    UserOracle oracle_a(&dataset.clean, oracle_options);
+    GdrEngine engine_a(&table_a, &dataset.rules, &oracle_a, options);
+    ASSERT_TRUE(engine_a.Initialize().ok());
+    std::vector<std::size_t> callbacks_a;
+    ASSERT_TRUE(engine_a
+                    .Run([&callbacks_a](const GdrEngine&, std::size_t f) {
+                      callbacks_a.push_back(f);
+                    })
+                    .ok());
+
+    // B: the pull API, hand-pumped batch by batch.
+    Table table_b = dataset.dirty;
+    UserOracle oracle_b(&dataset.clean, oracle_options);
+    GdrSession session(&table_b, &dataset.rules, options);
+    std::vector<std::size_t> callbacks_b;
+    session.SetProgressCallback(
+        [&callbacks_b](const GdrEngine&, std::size_t f) {
+          callbacks_b.push_back(f);
+        });
+    ASSERT_TRUE(session.Start().ok());
+    while (session.state() != SessionState::kDone) {
+      auto batch = session.NextBatch();
+      ASSERT_TRUE(batch.ok());
+      for (const SuggestedUpdate& s : *batch) {
+        AnswerOne(&session, s, &oracle_b);
+      }
+    }
+
+    const std::string label = StrategyName(strategy);
+    ExpectSameStats(engine_a.stats(), session.stats(), label);
+    EXPECT_EQ(*table_a.CountDifferingCells(table_b), 0u) << label;
+    EXPECT_EQ(callbacks_a, callbacks_b) << label;
+    EXPECT_EQ(engine_a.index().TotalViolations(),
+              session.engine().index().TotalViolations())
+        << label;
+    EXPECT_EQ(engine_a.pool().size(), session.engine().pool().size())
+        << label;
+    EXPECT_EQ(oracle_a.feedback_given(), oracle_b.feedback_given()) << label;
+    EXPECT_EQ(oracle_a.values_volunteered(), oracle_b.values_volunteered())
+        << label;
+  }
+}
+
+TEST(SessionDifferentialTest, ExperimentDriversAreBitIdentical) {
+  const Dataset dataset = SmallDataset();
+  for (Strategy strategy : kAllStrategies) {
+    ExperimentConfig config;
+    config.strategy = strategy;
+    config.feedback_budget = 80;
+    config.seed = 5;
+    config.sample_every = 10;
+    config.volunteer_probability = 0.2;
+
+    config.driver = ExperimentDriver::kEngineRun;
+    auto via_run = RunStrategyExperiment(dataset, config);
+    config.driver = ExperimentDriver::kSessionPump;
+    auto via_session = RunStrategyExperiment(dataset, config);
+    ASSERT_TRUE(via_run.ok());
+    ASSERT_TRUE(via_session.ok());
+
+    const std::string label = StrategyName(strategy);
+    ExpectSameStats(via_run->stats, via_session->stats, label);
+    EXPECT_EQ(via_run->final_loss, via_session->final_loss) << label;
+    EXPECT_EQ(via_run->remaining_violations,
+              via_session->remaining_violations)
+        << label;
+    EXPECT_EQ(via_run->accuracy.Precision(), via_session->accuracy.Precision())
+        << label;
+    EXPECT_EQ(via_run->accuracy.Recall(), via_session->accuracy.Recall())
+        << label;
+    ASSERT_EQ(via_run->curve.size(), via_session->curve.size()) << label;
+    for (std::size_t i = 0; i < via_run->curve.size(); ++i) {
+      EXPECT_EQ(via_run->curve[i].feedback, via_session->curve[i].feedback);
+      EXPECT_EQ(via_run->curve[i].loss, via_session->curve[i].loss);
+      EXPECT_EQ(via_run->curve[i].improvement_pct,
+                via_session->curve[i].improvement_pct);
+    }
+  }
+}
+
+// Runs a session to completion, optionally interrupting once: after
+// `interrupt_after` labels have been applied, the *current batch* is left
+// half-answered (one more suggestion submitted, the rest outstanding) and
+// the session is snapshotted mid-batch. The snapshot is serialized,
+// parsed back, restored into a brand-new session over a fresh copy of the
+// dirty table, and driven to completion from the outstanding batch
+// onward. Returns the final stats/table of whichever session finished.
+struct FinalState {
+  GdrStats stats;
+  Table table;
+  std::int64_t violations = 0;
+};
+
+FinalState RunWithOptionalRestart(const Dataset& dataset,
+                                  const GdrOptions& options,
+                                  std::optional<std::size_t> interrupt_after) {
+  // Volunteering must be off for a cross-restart oracle to be stateless;
+  // GetFeedback answers purely from ground truth.
+  Table table(dataset.dirty);
+  UserOracle oracle(&dataset.clean);
+  auto session = std::make_unique<GdrSession>(&table, &dataset.rules, options);
+  EXPECT_TRUE(session->Start().ok());
+
+  std::optional<SessionSnapshot> snapshot;
+  while (session->state() != SessionState::kDone && !snapshot.has_value()) {
+    auto batch = session->NextBatch();
+    EXPECT_TRUE(batch.ok());
+    for (const SuggestedUpdate& s : *batch) {
+      AnswerOne(session.get(), s, &oracle);
+      if (interrupt_after.has_value() &&
+          session->stats().user_feedback >= *interrupt_after) {
+        snapshot = session->Snapshot();  // mid-batch, mid-group
+        break;
+      }
+    }
+  }
+
+  if (snapshot.has_value()) {
+    // Simulate the process restart: serialize, drop everything, reload the
+    // original dirty table, parse, restore, resume.
+    const std::string wire = snapshot->Serialize();
+    session.reset();
+    Table reloaded(dataset.dirty);
+    auto parsed = SessionSnapshot::Deserialize(wire);
+    EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+    auto resumed =
+        std::make_unique<GdrSession>(&reloaded, &dataset.rules, options);
+    EXPECT_TRUE(resumed->Restore(*parsed).ok());
+    UserOracle fresh_oracle(&dataset.clean);
+    // Finish the interrupted batch first, then pump normally.
+    for (const SuggestedUpdate& s : resumed->Outstanding()) {
+      AnswerOne(resumed.get(), s, &fresh_oracle);
+    }
+    EXPECT_TRUE(PumpSession(resumed.get(), &fresh_oracle).ok());
+    return FinalState{resumed->stats(), reloaded,
+                      resumed->engine().index().TotalViolations()};
+  }
+  return FinalState{session->stats(), table,
+                    session->engine().index().TotalViolations()};
+}
+
+TEST(SessionDifferentialTest, SnapshotRestoreMidSessionResumesIdentically) {
+  const Dataset dataset = SmallDataset();
+  for (Strategy strategy :
+       {Strategy::kGdr, Strategy::kGdrNoLearning, Strategy::kActiveLearning,
+        Strategy::kRandomRanking}) {
+    GdrOptions options;
+    options.strategy = strategy;
+    options.feedback_budget = 100;
+    options.seed = 9;
+
+    const FinalState uninterrupted =
+        RunWithOptionalRestart(dataset, options, std::nullopt);
+    // Interrupt at 52 labels: with n_s = 5 that lands mid-batch, well past
+    // the 25-example training threshold for learning strategies, so the
+    // snapshot carries trained forests (post-retrain) and a half-answered
+    // group (mid-group).
+    const FinalState restarted =
+        RunWithOptionalRestart(dataset, options, 52);
+
+    const std::string label = StrategyName(strategy);
+    ExpectSameStats(uninterrupted.stats, restarted.stats, label);
+    EXPECT_EQ(*uninterrupted.table.CountDifferingCells(restarted.table), 0u)
+        << label;
+    EXPECT_EQ(uninterrupted.violations, restarted.violations) << label;
+  }
+}
+
+TEST(SessionDifferentialTest, SnapshotAtEveryTenthLabelRestoresExactly) {
+  // Tighter variant on one strategy: interrupt at several loop positions
+  // (group starts, mid-batch, pre/post learner take-over) and require the
+  // identical end state each time.
+  const Dataset dataset = SmallDataset();
+  GdrOptions options;
+  options.strategy = Strategy::kGdr;
+  options.feedback_budget = 60;
+  options.seed = 77;
+  const FinalState reference =
+      RunWithOptionalRestart(dataset, options, std::nullopt);
+  for (std::size_t cut : {1u, 10u, 30u, 59u}) {
+    const FinalState restarted = RunWithOptionalRestart(dataset, options, cut);
+    ExpectSameStats(reference.stats, restarted.stats,
+                    "cut=" + std::to_string(cut));
+    EXPECT_EQ(*reference.table.CountDifferingCells(restarted.table), 0u)
+        << "cut=" << cut;
+  }
+}
+
+}  // namespace
+}  // namespace gdr
