@@ -2,63 +2,63 @@
 // the committee size k of the random-forest learner (the paper fixes
 // k = 10, WEKA's default). Also sweeps the delegation accuracy bar.
 //
-// Flags: --records=N (default 10000) --seed=S --budget_pct=P (default 30)
+// Flags: --workload=name:key=val,... (repeatable; default dataset1,
+//         parameterized by the legacy flags below)
+//        --records=N (default 10000) --seed=S --budget_pct=P (default 30)
 #include <cstdio>
 
 #include "bench/bench_util.h"
 #include "cfd/violation_index.h"
-#include "sim/dataset1.h"
 #include "sim/experiment.h"
 #include "util/stopwatch.h"
 
 int main(int argc, char** argv) {
   using namespace gdr;
   const bench::Flags flags(argc, argv);
-  Dataset1Options options;
-  options.num_records =
-      static_cast<std::size_t>(flags.GetInt("records", 10000));
-  options.seed = static_cast<std::uint64_t>(flags.GetInt("seed", 42));
-  auto dataset = GenerateDataset1(options);
-  if (!dataset.ok()) return 1;
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(flags.GetInt("seed", 42));
+  const auto specs = bench::WorkloadSpecsOrDefaults(
+      flags, {"dataset1:records=" + flags.GetString("records", "10000") +
+              ",seed=" + flags.GetString("seed", "42")});
 
-  Table dirty = dataset->dirty;
-  ViolationIndex probe(&dirty, &dataset->rules);
-  const std::size_t budget = static_cast<std::size_t>(
-      static_cast<double>(probe.DirtyRows().size()) *
-      flags.GetDouble("budget_pct", 30.0) / 100.0);
+  for (const std::string& spec : specs) {
+    const auto resolved = ResolveWorkloadOrReport(spec);
+    if (!resolved.ok()) return 1;
+    const Dataset& dataset = *resolved;
+    Table dirty = dataset.dirty;
+    ViolationIndex probe(&dirty, &dataset.rules);
+    const std::size_t budget = static_cast<std::size_t>(
+        static_cast<double>(probe.DirtyRows().size()) *
+        flags.GetDouble("budget_pct", 30.0) / 100.0);
 
-  std::printf("== Forest-size ablation: %s, budget=%zu ==\n",
-              dataset->name.c_str(), budget);
-  std::printf("%6s %14s %10s %8s %8s\n", "k", "improvement%", "precision",
-              "recall", "wall");
-  for (int k : {1, 5, 10, 20}) {
-    Stopwatch watch;
-    ExperimentConfig config;
-    config.strategy = Strategy::kGdr;
-    config.feedback_budget = budget;
-    config.seed = options.seed;
-    config.sample_every = 1000000;
-    // Route the committee size through the engine's learner options.
-    Table working = dataset->dirty;
-    UserOracle oracle(&dataset->clean);
-    GdrOptions engine_options;
-    engine_options.strategy = Strategy::kGdr;
-    engine_options.feedback_budget = budget;
-    engine_options.seed = options.seed;
-    engine_options.learner.forest.num_trees = k;
-    GdrEngine engine(&working, &dataset->rules, &oracle, engine_options);
-    if (!engine.Initialize().ok() || !engine.Run().ok()) continue;
-    QualityEvaluator evaluator(dataset->clean, &dataset->rules,
-                               engine.rule_weights());
-    Table initial = dataset->dirty;
-    ViolationIndex initial_index(&initial, &dataset->rules);
-    const double initial_loss = evaluator.Loss(initial_index);
-    auto accuracy =
-        ComputeRepairAccuracy(dataset->dirty, working, dataset->clean);
-    std::printf("%6d %14.1f %10.3f %8.3f %7.1fs\n", k,
-                evaluator.ImprovementPct(engine.index(), initial_loss),
-                accuracy->Precision(), accuracy->Recall(),
-                watch.ElapsedSeconds());
+    std::printf("== Forest-size ablation: %s, budget=%zu ==\n",
+                dataset.name.c_str(), budget);
+    std::printf("%6s %14s %10s %8s %8s\n", "k", "improvement%", "precision",
+                "recall", "wall");
+    for (int k : {1, 5, 10, 20}) {
+      Stopwatch watch;
+      // Route the committee size through the engine's learner options.
+      Table working = dataset.dirty;
+      UserOracle oracle(&dataset.clean);
+      GdrOptions engine_options;
+      engine_options.strategy = Strategy::kGdr;
+      engine_options.feedback_budget = budget;
+      engine_options.seed = seed;
+      engine_options.learner.forest.num_trees = k;
+      GdrEngine engine(&working, &dataset.rules, &oracle, engine_options);
+      if (!engine.Initialize().ok() || !engine.Run().ok()) continue;
+      QualityEvaluator evaluator(dataset.clean, &dataset.rules,
+                                 engine.rule_weights());
+      Table initial = dataset.dirty;
+      ViolationIndex initial_index(&initial, &dataset.rules);
+      const double initial_loss = evaluator.Loss(initial_index);
+      auto accuracy =
+          ComputeRepairAccuracy(dataset.dirty, working, dataset.clean);
+      std::printf("%6d %14.1f %10.3f %8.3f %7.1fs\n", k,
+                  evaluator.ImprovementPct(engine.index(), initial_loss),
+                  accuracy->Precision(), accuracy->Recall(),
+                  watch.ElapsedSeconds());
+    }
   }
   return 0;
 }

@@ -7,14 +7,15 @@
 // All run the GDR-NoLearning protocol (user verifies everything) with a
 // fixed budget, so differences are attributable to the ranking alone.
 //
-// Flags: --records=N (default 10000) --seed=S --budget_pct=P (default 40)
+// Flags: --workload=name:key=val,... (repeatable; default dataset1,
+//         parameterized by the legacy flags below)
+//        --records=N (default 10000) --seed=S --budget_pct=P (default 40)
 #include <cstdio>
 #include <numeric>
 
 #include "bench/bench_util.h"
 #include "core/gdr.h"
 #include "core/quality.h"
-#include "sim/dataset1.h"
 #include "sim/oracle.h"
 #include "util/stopwatch.h"
 
@@ -64,20 +65,9 @@ double RunWithRanking(const Dataset& dataset, std::size_t budget,
 int main(int argc, char** argv) {
   using namespace gdr;
   const bench::Flags flags(argc, argv);
-  Dataset1Options options;
-  options.num_records =
-      static_cast<std::size_t>(flags.GetInt("records", 10000));
-  options.seed = static_cast<std::uint64_t>(flags.GetInt("seed", 42));
-  auto dataset = GenerateDataset1(options);
-  if (!dataset.ok()) return 1;
-
-  Table dirty = dataset->dirty;
-  ViolationIndex probe(&dirty, &dataset->rules);
-  const std::size_t budget = static_cast<std::size_t>(
-      static_cast<double>(probe.DirtyRows().size()) *
-      flags.GetDouble("budget_pct", 40.0) / 100.0);
-  std::printf("== VOI ablation: %s, budget=%zu ==\n",
-              dataset->name.c_str(), budget);
+  const auto specs = bench::WorkloadSpecsOrDefaults(
+      flags, {"dataset1:records=" + flags.GetString("records", "10000") +
+              ",seed=" + flags.GetString("seed", "42")});
 
   struct Variant {
     const char* name;
@@ -126,18 +116,31 @@ int main(int argc, char** argv) {
        }},
   };
 
-  std::printf("%-12s %14s %8s\n", "ranking", "improvement%", "wall");
-  for (const Variant& variant : variants) {
-    Stopwatch watch;
-    const double improvement =
-        RunWithRanking(*dataset, budget,
-                       [&variant](ViolationIndex& index,
-                                  const std::vector<double>& weights,
-                                  const std::vector<UpdateGroup>& groups) {
-                         return variant.pick(index, weights, groups);
-                       });
-    std::printf("%-12s %14.1f %7.1fs\n", variant.name, improvement,
-                watch.ElapsedSeconds());
+  for (const std::string& spec : specs) {
+    const auto resolved = ResolveWorkloadOrReport(spec);
+    if (!resolved.ok()) return 1;
+    const Dataset& dataset = *resolved;
+    Table dirty = dataset.dirty;
+    ViolationIndex probe(&dirty, &dataset.rules);
+    const std::size_t budget = static_cast<std::size_t>(
+        static_cast<double>(probe.DirtyRows().size()) *
+        flags.GetDouble("budget_pct", 40.0) / 100.0);
+    std::printf("== VOI ablation: %s, budget=%zu ==\n", dataset.name.c_str(),
+                budget);
+
+    std::printf("%-12s %14s %8s\n", "ranking", "improvement%", "wall");
+    for (const Variant& variant : variants) {
+      Stopwatch watch;
+      const double improvement =
+          RunWithRanking(dataset, budget,
+                         [&variant](ViolationIndex& index,
+                                    const std::vector<double>& weights,
+                                    const std::vector<UpdateGroup>& groups) {
+                           return variant.pick(index, weights, groups);
+                         });
+      std::printf("%-12s %14.1f %7.1fs\n", variant.name, improvement,
+                  watch.ElapsedSeconds());
+    }
   }
   return 0;
 }

@@ -11,7 +11,9 @@
 // Speedups are hardware-dependent; `hardware_concurrency` is recorded in
 // the JSON so a 1-core CI result is not mistaken for a regression.
 //
-// Flags: --records=N (default 20000) --seed=S (default 42)
+// Flags: --workload=name:key=val,... (default dataset1, parameterized by
+//        the legacy flags below; the first workload is measured)
+//        --records=N (default 20000) --seed=S (default 42)
 //        --repeats=R (default 5, best-of) --threads-max=T (default 8)
 //        --out=PATH (default BENCH_voi.json)
 #include <cstdio>
@@ -24,7 +26,6 @@
 #include "core/gdr.h"
 #include "core/grouping.h"
 #include "core/voi.h"
-#include "sim/dataset1.h"
 #include "sim/oracle.h"
 #include "util/stopwatch.h"
 #include "util/thread_pool.h"
@@ -61,20 +62,29 @@ int RunBench(int argc, char** argv) {
   const std::size_t threads_max =
       static_cast<std::size_t>(flags.GetInt("threads-max", 8));
 
-  Dataset1Options options;
-  options.num_records = records;
-  options.seed = seed;
-  auto dataset = GenerateDataset1(options);
-  if (!dataset.ok()) {
-    std::printf("dataset1: %s\n", dataset.status().ToString().c_str());
-    return 1;
+  // This bench measures exactly one workload: resolve only the first
+  // --workload occurrence rather than materializing all of them.
+  std::vector<std::string> specs = flags.GetStrings("workload");
+  if (specs.empty()) {
+    specs = {"dataset1:records=" + std::to_string(records) +
+             ",seed=" + std::to_string(seed)};
+  } else if (specs.size() > 1) {
+    std::printf("note: measuring only the first workload (%s)\n",
+                specs.front().c_str());
+    specs.resize(1);
   }
+  const auto resolved = ResolveWorkloadOrReport(specs.front());
+  if (!resolved.ok()) return 1;
+  const Dataset& dataset = *resolved;
+  // Report the resolved instance, not the flag defaults: with --workload
+  // the --records/--seed flags play no part in what was measured.
+  const std::size_t resolved_rows = dataset.dirty.num_rows();
 
   // Real engine state: Initialize() detects violations and seeds the pool
   // exactly as the interactive loop would see it on round one.
-  Table working = dataset->dirty;
-  UserOracle oracle(&dataset->clean, {});
-  GdrEngine engine(&working, &dataset->rules, &oracle, {});
+  Table working = dataset.dirty;
+  UserOracle oracle(&dataset.clean, {});
+  GdrEngine engine(&working, &dataset.rules, &oracle, {});
   if (Status status = engine.Initialize(); !status.ok()) {
     std::printf("initialize: %s\n", status.ToString().c_str());
     return 1;
@@ -82,10 +92,12 @@ int RunBench(int argc, char** argv) {
   const std::vector<UpdateGroup> groups = GroupUpdates(engine.pool());
   std::size_t updates = 0;
   for (const UpdateGroup& group : groups) updates += group.size();
-  std::printf("== bench_parallel_voi: %s ==\n", dataset->name.c_str());
-  std::printf("records=%zu groups=%zu updates=%zu repeats=%d hw_threads=%u\n",
-              records, groups.size(), updates, repeats,
-              std::thread::hardware_concurrency());
+  std::printf("== bench_parallel_voi: %s ==\n", dataset.name.c_str());
+  std::printf(
+      "workload=%s records=%zu groups=%zu updates=%zu repeats=%d "
+      "hw_threads=%u\n",
+      specs.front().c_str(), resolved_rows, groups.size(), updates, repeats,
+      std::thread::hardware_concurrency());
 
   // Serial reference.
   VoiRanker serial(&engine.index(), &engine.rule_weights());
@@ -122,15 +134,15 @@ int RunBench(int argc, char** argv) {
                  "{\n"
                  "  \"bench\": \"parallel_voi\",\n"
                  "  \"dataset\": \"%s\",\n"
+                 "  \"workload\": \"%s\",\n"
                  "  \"records\": %zu,\n"
                  "  \"groups\": %zu,\n"
                  "  \"updates\": %zu,\n"
                  "  \"repeats\": %d,\n"
-                 "  \"seed\": %llu,\n"
                  "  \"hardware_concurrency\": %u,\n"
                  "  \"results\": [\n",
-                 dataset->name.c_str(), records, groups.size(), updates,
-                 repeats, static_cast<unsigned long long>(seed),
+                 dataset.name.c_str(), specs.front().c_str(), resolved_rows,
+                 groups.size(), updates, repeats,
                  std::thread::hardware_concurrency());
     for (std::size_t i = 0; i < results.size(); ++i) {
       const Measurement& m = results[i];

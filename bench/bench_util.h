@@ -6,6 +6,11 @@
 #include <cstdlib>
 #include <string>
 #include <string_view>
+#include <vector>
+
+#include "sim/dataset.h"
+#include "util/result.h"
+#include "workload/registry.h"
 
 namespace gdr::bench {
 
@@ -30,6 +35,20 @@ class Flags {
     return value.empty() ? std::string(default_value) : value;
   }
 
+  /// Every occurrence of --name=value, in command-line order (a flag may
+  /// repeat, e.g. --workload= once per scenario).
+  std::vector<std::string> GetStrings(std::string_view name) const {
+    const std::string prefix = "--" + std::string(name) + "=";
+    std::vector<std::string> values;
+    for (int i = 1; i < argc_; ++i) {
+      const std::string_view arg = argv_[i];
+      if (arg.rfind(prefix, 0) == 0) {
+        values.emplace_back(arg.substr(prefix.size()));
+      }
+    }
+    return values;
+  }
+
  private:
   std::string GetRaw(std::string_view name) const {
     const std::string prefix = "--" + std::string(name) + "=";
@@ -45,6 +64,17 @@ class Flags {
   int argc_;
   char** argv_;
 };
+
+/// The shared --workload handling of every figure harness: the list of
+/// --workload=name:key=val,... occurrences, or `defaults` (textual specs
+/// too) when the flag is absent. Resolve each spec with
+/// ResolveWorkloadOrReport *inside* the per-workload loop so only one Dataset
+/// is materialized at a time.
+inline std::vector<std::string> WorkloadSpecsOrDefaults(
+    const Flags& flags, const std::vector<std::string>& defaults) {
+  std::vector<std::string> specs = flags.GetStrings("workload");
+  return specs.empty() ? defaults : specs;
+}
 
 }  // namespace gdr::bench
 

@@ -9,14 +9,14 @@
 // total, as in the paper ("percentage of the maximum number of verified
 // updates required by an approach").
 //
-// Flags: --records=N (default 20000) --seed=S (default 42)
+// Flags: --workload=name:key=val,... (repeatable; default dataset1 and
+//        dataset2, parameterized by the legacy flags below)
+//        --records=N (default 20000) --seed=S (default 42)
 //        --threads=T (VOI ranking workers; 1 serial, 0 = hardware)
 #include <cstdio>
 #include <vector>
 
 #include "bench/bench_util.h"
-#include "sim/dataset1.h"
-#include "sim/dataset2.h"
 #include "sim/experiment.h"
 #include "util/stopwatch.h"
 
@@ -68,34 +68,21 @@ void RunFigure3(const Dataset& dataset, const char* figure,
 
 int main(int argc, char** argv) {
   const gdr::bench::Flags flags(argc, argv);
-  const std::size_t records =
-      static_cast<std::size_t>(flags.GetInt("records", 20000));
-  const std::uint64_t seed =
-      static_cast<std::uint64_t>(flags.GetInt("seed", 42));
+  const std::string records = flags.GetString("records", "20000");
+  const std::string seed = flags.GetString("seed", "42");
   const std::size_t threads =
       static_cast<std::size_t>(flags.GetInt("threads", 1));
 
-  {
-    gdr::Dataset1Options options;
-    options.num_records = records;
-    options.seed = seed;
-    auto dataset = gdr::GenerateDataset1(options);
-    if (!dataset.ok()) {
-      std::printf("dataset1: %s\n", dataset.status().ToString().c_str());
-      return 1;
-    }
-    gdr::RunFigure3(*dataset, "(a)", seed, threads);
-  }
-  {
-    gdr::Dataset2Options options;
-    options.num_records = records;
-    options.seed = seed;
-    auto dataset = gdr::GenerateDataset2(options);
-    if (!dataset.ok()) {
-      std::printf("dataset2: %s\n", dataset.status().ToString().c_str());
-      return 1;
-    }
-    gdr::RunFigure3(*dataset, "(b)", seed, threads);
+  const auto specs = gdr::bench::WorkloadSpecsOrDefaults(
+      flags, {"dataset1:records=" + records + ",seed=" + seed,
+              "dataset2:records=" + records + ",seed=" + seed});
+  const std::uint64_t experiment_seed =
+      static_cast<std::uint64_t>(flags.GetInt("seed", 42));
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const auto dataset = gdr::ResolveWorkloadOrReport(specs[i]);
+    if (!dataset.ok()) return 1;
+    const std::string figure = "(" + std::string(1, char('a' + i % 26)) + ")";
+    gdr::RunFigure3(*dataset, figure.c_str(), experiment_seed, threads);
   }
   return 0;
 }

@@ -7,7 +7,9 @@
 // (VOI + passive learning), GDR-NoLearning (VOI only), Active-Learning
 // (no grouping), and the Automatic-Heuristic constant line (BatchRepair).
 //
-// Flags: --records=N (default 4000; pass --records=20000 for the paper's
+// Flags: --workload=name:key=val,... (repeatable; default dataset1 and
+//         dataset2, parameterized by the legacy flags below)
+//         --records=N (default 4000; pass --records=20000 for the paper's
 //         scale — the interactive loop re-ranks the whole candidate pool
 //         after every n_s labels, so full scale takes tens of minutes)
 //         --seed=S (default 42)
@@ -17,8 +19,6 @@
 
 #include "bench/bench_util.h"
 #include "cfd/violation_index.h"
-#include "sim/dataset1.h"
-#include "sim/dataset2.h"
 #include "sim/experiment.h"
 #include "util/stopwatch.h"
 
@@ -95,29 +95,23 @@ void RunFigure4(const Dataset& dataset, const char* figure,
 
 int main(int argc, char** argv) {
   const gdr::bench::Flags flags(argc, argv);
-  const std::size_t records =
-      static_cast<std::size_t>(flags.GetInt("records", 4000));
-  const std::uint64_t seed =
+  const std::string records = flags.GetString("records", "4000");
+  const std::string seed = flags.GetString("seed", "42");
+  const std::uint64_t experiment_seed =
       static_cast<std::uint64_t>(flags.GetInt("seed", 42));
   const std::size_t threads =
       static_cast<std::size_t>(flags.GetInt("threads", 1));
   const double budget_pct = flags.GetDouble("budget_pct", 100.0);
 
-  {
-    gdr::Dataset1Options options;
-    options.num_records = records;
-    options.seed = seed;
-    auto dataset = gdr::GenerateDataset1(options);
+  const auto specs = gdr::bench::WorkloadSpecsOrDefaults(
+      flags, {"dataset1:records=" + records + ",seed=" + seed,
+              "dataset2:records=" + records + ",seed=" + seed});
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const auto dataset = gdr::ResolveWorkloadOrReport(specs[i]);
     if (!dataset.ok()) return 1;
-    gdr::RunFigure4(*dataset, "(a)", seed, budget_pct, threads);
-  }
-  {
-    gdr::Dataset2Options options;
-    options.num_records = records;
-    options.seed = seed;
-    auto dataset = gdr::GenerateDataset2(options);
-    if (!dataset.ok()) return 1;
-    gdr::RunFigure4(*dataset, "(b)", seed, budget_pct, threads);
+    const std::string figure = "(" + std::string(1, char('a' + i % 26)) + ")";
+    gdr::RunFigure4(*dataset, figure.c_str(), experiment_seed, budget_pct,
+                    threads);
   }
   return 0;
 }

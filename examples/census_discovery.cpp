@@ -4,6 +4,10 @@
 // instance), inspect them, and then run guided repair against them.
 //
 // Build & run:  ./build/examples/census_discovery [--records=N]
+//               [--workload=SPEC]   (default: dataset2:records=N,seed=7;
+//                any registry workload works — discovery runs on whatever
+//                dirty instance the workload resolves to)
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -12,27 +16,30 @@
 #include "core/gdr.h"
 #include "core/quality.h"
 #include "sim/cfd_discovery.h"
-#include "sim/dataset2.h"
 #include "sim/oracle.h"
+#include "workload/registry.h"
 
 using namespace gdr;
 
 int main(int argc, char** argv) {
   std::size_t records = 8000;
+  std::string spec;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--records=", 0) == 0) {
       records = static_cast<std::size_t>(std::atoll(arg.c_str() + 10));
+    } else if (arg.rfind("--workload=", 0) == 0) {
+      spec = arg.substr(std::string("--workload=").size());
     }
   }
+  if (spec.empty()) {
+    spec = "dataset2:records=" + std::to_string(records) + ",seed=7";
+  }
 
-  Dataset2Options options;
-  options.num_records = records;
-  options.seed = 7;
-  auto dataset = GenerateDataset2(options);
+  auto dataset = ResolveWorkloadOrReport(spec);
   if (!dataset.ok()) return 1;
 
-  // The dataset generator already ran discovery; re-run it here explicitly
+  // The workload may already ship rules; run discovery here explicitly
   // to show the API and print what was found.
   std::vector<AttrId> attrs;
   for (std::size_t a = 0; a < dataset->dirty.num_attrs(); ++a) {
@@ -80,7 +87,8 @@ int main(int argc, char** argv) {
   UserOracle oracle(&dataset->clean);
   GdrOptions engine_options;
   engine_options.strategy = Strategy::kGdr;
-  engine_options.feedback_budget = records / 10;
+  engine_options.feedback_budget =
+      std::max<std::size_t>(1, dataset->dirty.num_rows() / 10);
   GdrEngine engine(&working, &*rules, &oracle, engine_options);
   if (!engine.Initialize().ok() || !engine.Run().ok()) return 1;
 

@@ -16,7 +16,13 @@
 //   q — quit: snapshot the session and exit (relaunch to resume)
 //
 // Build & run:  ./build/examples/interactive_repl [--strategy NAME]
-//               [--snapshot FILE] [--fresh]
+//               [--snapshot FILE] [--fresh] [--workload SPEC]
+//
+// The workload (default: the paper's Figure 1 running example) is resolved
+// through the registry, so any scenario — a built-in generator or CSV
+// files — can be repaired interactively. Resuming from a snapshot rebuilds
+// the workload first, so the spec (and any files it names) must be
+// unchanged between sittings.
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -25,6 +31,7 @@
 #include <string>
 
 #include "core/session.h"
+#include "workload/registry.h"
 
 using namespace gdr;
 
@@ -89,6 +96,7 @@ bool AnswerSuggestion(GdrSession* session, const SuggestedUpdate& s) {
 int main(int argc, char** argv) {
   std::string strategy_name = "GDR-NoLearning";
   std::string snapshot_path = kDefaultSnapshotPath;
+  std::string workload_spec = "figure1";
   bool fresh = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -96,11 +104,14 @@ int main(int argc, char** argv) {
       strategy_name = argv[++i];
     } else if (arg == "--snapshot" && i + 1 < argc) {
       snapshot_path = argv[++i];
+    } else if (arg == "--workload" && i + 1 < argc) {
+      workload_spec = argv[++i];
     } else if (arg == "--fresh") {
       fresh = true;
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--strategy NAME] [--snapshot FILE] [--fresh]\n",
+                   "usage: %s [--strategy NAME] [--snapshot FILE] [--fresh] "
+                   "[--workload SPEC]\n",
                    argv[0]);
       return 2;
     }
@@ -111,36 +122,43 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  // The running example of the paper (Figure 1): a handful of address
-  // tuples with zip/city/state CFDs. Rebuilt identically on every launch —
-  // snapshot replay requires the original dirty instance.
-  auto schema = Schema::Make({"STR", "CT", "STT", "ZIP"});
-  if (!schema.ok()) return 1;
-  Table table(*schema);
-  (void)table.AppendRow({"Sherden Rd", "Fort Wayne", "IN", "46825"});
-  (void)table.AppendRow({"Sherden Rd", "Fort Wayne", "IN", "46391"});
-  (void)table.AppendRow({"Oak Ave", "Michigan Cty", "IN", "46360"});
-  (void)table.AppendRow({"Oak Ave", "Michigan City", "IN", "46360"});
-  (void)table.AppendRow({"Main St", "New Haven", "IND", "46774"});
-
-  RuleSet rules(*schema);
-  (void)rules.AddRuleFromString("phi1",
-                                "ZIP=46360 -> CT=Michigan City ; STT=IN");
-  (void)rules.AddRuleFromString("phi2", "ZIP=46774 -> CT=New Haven ; STT=IN");
-  (void)rules.AddRuleFromString("phi3", "ZIP=46825 -> CT=Fort Wayne ; STT=IN");
-  (void)rules.AddRuleFromString("phi5", "STR, CT=Fort Wayne -> ZIP");
+  // Deterministic workloads rebuild identically on every launch — snapshot
+  // replay requires the original dirty instance.
+  auto dataset = ResolveWorkloadOrReport(workload_spec);
+  if (!dataset.ok()) return 2;
+  Table& table = dataset->dirty;
+  RuleSet& rules = dataset->rules;
 
   GdrOptions options;
   options.strategy = *strategy;
   options.max_outer_iterations = 64;
   GdrSession session(&table, &rules, options);
 
-  // Resume from a previous run's snapshot when one exists.
+  // Resume from a previous run's snapshot when one exists. The file leads
+  // with a "workload <spec>" header so answers recorded against one
+  // dataset are never replayed onto another.
   std::ifstream snapshot_file(snapshot_path, std::ios::binary);
   if (snapshot_file.good() && !fresh) {
     std::stringstream buffer;
     buffer << snapshot_file.rdbuf();
-    const auto snapshot = SessionSnapshot::Deserialize(buffer.str());
+    std::string contents = buffer.str();
+    const std::string header_prefix = "workload ";
+    if (contents.rfind(header_prefix, 0) == 0) {
+      const std::size_t eol = contents.find('\n');
+      const std::string saved_spec =
+          contents.substr(header_prefix.size(),
+                          eol - header_prefix.size());
+      if (saved_spec != workload_spec) {
+        std::fprintf(stderr,
+                     "%s was snapshotted with --workload '%s', not '%s'; "
+                     "relaunch with the original workload or pass --fresh\n",
+                     snapshot_path.c_str(), saved_spec.c_str(),
+                     workload_spec.c_str());
+        return 1;
+      }
+      contents.erase(0, eol == std::string::npos ? contents.size() : eol + 1);
+    }
+    const auto snapshot = SessionSnapshot::Deserialize(contents);
     const Status restored =
         snapshot.ok() ? session.Restore(*snapshot) : snapshot.status();
     if (!restored.ok()) {
@@ -195,7 +213,8 @@ int main(int argc, char** argv) {
   }
   if (quit) {
     std::ofstream out(snapshot_path, std::ios::binary);
-    out << session.Snapshot().Serialize();
+    out << "workload " << workload_spec << '\n'
+        << session.Snapshot().Serialize();
     out.flush();
     if (!out.good()) {
       std::fprintf(stderr, "\nfailed to write snapshot to %s — the session "

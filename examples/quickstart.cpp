@@ -1,23 +1,28 @@
 // Quickstart: repair the paper's Figure 1 scenario with a scripted user.
 //
 // Demonstrates the minimal public API surface:
-//   Schema/Table        — load the dirty relation
-//   RuleSet             — declare CFDs in the textual syntax
+//   WorkloadRegistry    — resolve a named workload (or CSV files) into a
+//                         clean/dirty/rules Dataset
 //   FeedbackProvider    — supply user answers
 //   GdrEngine           — run the guided-repair loop
 //
-// Build & run:  ./build/examples/quickstart
+// Build & run:  ./build/examples/quickstart [--workload=SPEC]
+//   default SPEC is "figure1" (the paper's running example); try e.g.
+//   --workload=csv:clean=examples/data/toy_clean.csv,dirty=examples/data/toy_dirty.csv,rules=examples/data/toy_rules.txt
 #include <cstdio>
+#include <string>
 
 #include "core/gdr.h"
+#include "workload/registry.h"
 
 using namespace gdr;
 
 namespace {
 
-// A "user" that knows the true values of the Figure 1 tuples and answers
-// exactly like the paper's simulated user: confirm when the suggestion
-// matches the truth, retain when the cell is already right, else reject.
+// A "user" that knows the true values of the workload's clean instance and
+// answers exactly like the paper's simulated user: confirm when the
+// suggestion matches the truth, retain when the cell is already right,
+// else reject.
 class ScriptedUser : public FeedbackProvider {
  public:
   explicit ScriptedUser(const Table* truth) : truth_(truth) {}
@@ -46,47 +51,32 @@ class ScriptedUser : public FeedbackProvider {
 
 }  // namespace
 
-int main() {
-  // Customer(Name, SRC, STR, CT, STT, ZIP) — the paper's running example.
-  auto schema =
-      Schema::Make({"Name", "SRC", "STR", "CT", "STT", "ZIP"});
-  if (!schema.ok()) return 1;
-
-  // Ground truth (what the database *should* say).
-  Table truth(*schema);
-  (void)truth.AppendRow({"Ann", "H1", "Sherden Rd", "Fort Wayne", "IN", "46825"});
-  (void)truth.AppendRow({"Bob", "H1", "Sherden Rd", "Fort Wayne", "IN", "46825"});
-  (void)truth.AppendRow({"Cal", "H2", "Oak Ave", "Michigan City", "IN", "46360"});
-  (void)truth.AppendRow({"Dee", "H2", "Oak Ave", "Michigan City", "IN", "46360"});
-  (void)truth.AppendRow({"Eve", "H3", "Main St", "New Haven", "IN", "46774"});
-  (void)truth.AppendRow({"Fay", "H4", "Main St", "Westville", "IN", "46391"});
-
-  // The dirty instance: H2's operator mistypes cities, Bob's zip was
-  // confused with the neighboring code, Eve's state got spelled out.
-  Table dirty = truth;
-  dirty.Set(1, 5, "46391");          // Bob: wrong zip
-  dirty.Set(2, 3, "Michigan Cty");   // Cal: city typo
-  dirty.Set(3, 3, "Michigan Cty");   // Dee: city typo
-  dirty.Set(4, 4, "IND");            // Eve: state typo
-
-  // Data-quality rules Σ, in the paper's Figure 1 family.
-  RuleSet rules(*schema);
-  (void)rules.AddRuleFromString("phi1",
-                                "ZIP=46360 -> CT=Michigan City ; STT=IN");
-  (void)rules.AddRuleFromString("phi2", "ZIP=46774 -> CT=New Haven ; STT=IN");
-  (void)rules.AddRuleFromString("phi3", "ZIP=46825 -> CT=Fort Wayne ; STT=IN");
-  (void)rules.AddRuleFromString("phi4", "ZIP=46391 -> CT=Westville ; STT=IN");
-  (void)rules.AddRuleFromString("phi5", "STR, CT=Fort Wayne -> ZIP");
-
-  std::printf("Dirty instance:\n");
-  for (std::size_t r = 0; r < dirty.num_rows(); ++r) {
-    std::printf("  t%zu: %s\n", r, dirty.RowToString(static_cast<RowId>(r)).c_str());
+int main(int argc, char** argv) {
+  std::string spec = "figure1";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--workload=", 0) == 0) {
+      spec = arg.substr(std::string("--workload=").size());
+    } else {
+      std::fprintf(stderr, "usage: %s [--workload=SPEC]\n", argv[0]);
+      return 2;
+    }
   }
 
-  ScriptedUser user(&truth);
+  auto dataset = ResolveWorkloadOrReport(spec);
+  if (!dataset.ok()) return 2;
+
+  Table dirty = dataset->dirty;
+  std::printf("Dirty instance (%s):\n", dataset->name.c_str());
+  for (std::size_t r = 0; r < dirty.num_rows(); ++r) {
+    std::printf("  t%zu: %s\n", r,
+                dirty.RowToString(static_cast<RowId>(r)).c_str());
+  }
+
+  ScriptedUser user(&dataset->clean);
   GdrOptions options;
   options.strategy = Strategy::kGdrNoLearning;  // verify everything
-  GdrEngine engine(&dirty, &rules, &user, options);
+  GdrEngine engine(&dirty, &dataset->rules, &user, options);
   if (!engine.Initialize().ok()) return 1;
   std::printf("\nInitially dirty tuples: %zu, suggested updates: %zu\n\n",
               engine.stats().initial_dirty, engine.pool().size());
@@ -95,7 +85,8 @@ int main() {
   std::printf("\nRepaired instance (%zu user answers, %zu forced repairs):\n",
               engine.stats().user_feedback, engine.stats().forced_repairs);
   for (std::size_t r = 0; r < dirty.num_rows(); ++r) {
-    std::printf("  t%zu: %s\n", r, dirty.RowToString(static_cast<RowId>(r)).c_str());
+    std::printf("  t%zu: %s\n", r,
+                dirty.RowToString(static_cast<RowId>(r)).c_str());
   }
   std::printf("Remaining violations: %lld\n",
               static_cast<long long>(engine.index().TotalViolations()));

@@ -1,22 +1,15 @@
 #include "cfd/cfd.h"
 
 #include <algorithm>
-#include <cctype>
 #include <sstream>
+
+#include "util/strings.h"
 
 namespace gdr {
 
 namespace {
 
-std::string_view Trim(std::string_view s) {
-  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
-    s.remove_prefix(1);
-  }
-  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
-    s.remove_suffix(1);
-  }
-  return s;
-}
+constexpr auto Trim = TrimWhitespace;
 
 std::vector<std::string_view> Split(std::string_view s, char delim) {
   std::vector<std::string_view> parts;
@@ -38,8 +31,11 @@ bool Cfd::LhsContains(AttrId attr) const {
 }
 
 std::string Cfd::ToString(const Schema& schema) const {
+  return name_ + ": (" + ToRuleText(schema) + ")";
+}
+
+std::string Cfd::ToRuleText(const Schema& schema) const {
   std::ostringstream out;
-  out << name_ << ": (";
   for (std::size_t i = 0; i < lhs_.size(); ++i) {
     if (i > 0) out << ", ";
     out << schema.attr_name(lhs_[i].attr);
@@ -47,7 +43,6 @@ std::string Cfd::ToString(const Schema& schema) const {
   }
   out << " -> " << schema.attr_name(rhs_.attr);
   if (rhs_.is_constant()) out << "=" << *rhs_.constant;
-  out << ")";
   return out.str();
 }
 
@@ -75,10 +70,19 @@ Status RuleSet::AddRule(std::string name, std::vector<PatternCell> lhs,
     }
   }
 
-  // Normal form: one stored rule per RHS attribute.
+  // Normal form: one stored rule per RHS attribute. Validate every split
+  // name up front so a duplicate leaves the rule set untouched.
   for (std::size_t i = 0; i < rhs.size(); ++i) {
     std::string sub_name = name;
     if (rhs.size() > 1) sub_name += "." + std::to_string(i + 1);
+    if (names_.count(sub_name) > 0) {
+      return Status::InvalidArgument("duplicate rule name '" + sub_name + "'");
+    }
+  }
+  for (std::size_t i = 0; i < rhs.size(); ++i) {
+    std::string sub_name = name;
+    if (rhs.size() > 1) sub_name += "." + std::to_string(i + 1);
+    names_.insert(sub_name);
     const RuleId id = static_cast<RuleId>(rules_.size());
     rules_.emplace_back(std::move(sub_name), lhs, rhs[i]);
 
@@ -98,19 +102,27 @@ Status RuleSet::AddRule(std::string name, std::vector<PatternCell> lhs,
 Status RuleSet::AddRuleFromString(std::string name, std::string_view text) {
   const std::size_t arrow = text.find("->");
   if (arrow == std::string_view::npos) {
-    return Status::InvalidArgument("rule text lacks '->': " +
-                                   std::string(text));
+    return Status::InvalidArgument("rule '" + name + "': missing '->' in '" +
+                                   std::string(text) + "'");
   }
-  auto parse_item = [this](std::string_view item) -> Result<PatternCell> {
+  auto parse_item = [this, &name](std::string_view item,
+                                  const char* side) -> Result<PatternCell> {
     item = Trim(item);
     if (item.empty()) {
-      return Status::InvalidArgument("empty pattern item");
+      return Status::InvalidArgument("rule '" + name + "': empty " + side +
+                                     " pattern item");
     }
     PatternCell cell;
     const std::size_t eq = item.find('=');
-    std::string_view attr_name =
+    const std::string_view attr_name =
         eq == std::string_view::npos ? item : Trim(item.substr(0, eq));
-    GDR_ASSIGN_OR_RETURN(cell.attr, schema_.GetAttr(attr_name));
+    cell.attr = schema_.FindAttr(attr_name);
+    if (cell.attr == kInvalidAttrId) {
+      return Status::InvalidArgument("rule '" + name +
+                                     "': unknown attribute '" +
+                                     std::string(attr_name) + "' in " + side +
+                                     " item '" + std::string(item) + "'");
+    }
     if (eq != std::string_view::npos) {
       cell.constant = std::string(Trim(item.substr(eq + 1)));
     }
@@ -119,15 +131,54 @@ Status RuleSet::AddRuleFromString(std::string name, std::string_view text) {
 
   std::vector<PatternCell> lhs;
   for (std::string_view part : Split(text.substr(0, arrow), ',')) {
-    GDR_ASSIGN_OR_RETURN(PatternCell cell, parse_item(part));
+    GDR_ASSIGN_OR_RETURN(PatternCell cell, parse_item(part, "LHS"));
     lhs.push_back(std::move(cell));
   }
   std::vector<PatternCell> rhs;
   for (std::string_view part : Split(text.substr(arrow + 2), ';')) {
-    GDR_ASSIGN_OR_RETURN(PatternCell cell, parse_item(part));
+    GDR_ASSIGN_OR_RETURN(PatternCell cell, parse_item(part, "RHS"));
     rhs.push_back(std::move(cell));
   }
   return AddRule(std::move(name), std::move(lhs), std::move(rhs));
+}
+
+bool RuleSurvivesText(const Cfd& rule, const Schema& schema,
+                      std::string* offending_token) {
+  auto bad = [offending_token](const std::string& token,
+                               bool is_attr) -> bool {
+    const bool has_delim =
+        token.find_first_of(",;\n\r") != std::string::npos ||
+        token.find("->") != std::string::npos ||
+        (is_attr && token.find('=') != std::string::npos);
+    const bool trimmed_away =
+        std::string(Trim(token)) != token;  // parser trims; would not survive
+    if (has_delim || trimmed_away) {
+      if (offending_token != nullptr) *offending_token = token;
+      return true;
+    }
+    return false;
+  };
+  // Names must survive the rules-file line format too: non-empty, no
+  // ':'/newline, no surrounding whitespace, and not starting with the
+  // comment marker '#' (the loader would silently skip the line).
+  if (rule.name().empty() || rule.name().front() == '#' ||
+      rule.name().find_first_of(":\n\r") != std::string::npos ||
+      std::string(Trim(rule.name())) != rule.name()) {
+    if (offending_token != nullptr) *offending_token = rule.name();
+    return false;
+  }
+  for (const PatternCell& cell : rule.lhs()) {
+    if (bad(schema.attr_name(cell.attr), /*is_attr=*/true)) return false;
+    if (cell.is_constant() && bad(*cell.constant, /*is_attr=*/false)) {
+      return false;
+    }
+  }
+  if (bad(schema.attr_name(rule.rhs().attr), /*is_attr=*/true)) return false;
+  if (rule.rhs().is_constant() &&
+      bad(*rule.rhs().constant, /*is_attr=*/false)) {
+    return false;
+  }
+  return true;
 }
 
 const std::vector<RuleId>& RuleSet::RulesMentioning(AttrId attr) const {

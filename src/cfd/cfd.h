@@ -5,6 +5,7 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <unordered_set>
 #include <vector>
 
 #include "data/schema.h"
@@ -56,6 +57,12 @@ class Cfd {
   /// Renders the rule as e.g. "phi1: (ZIP=46360 -> CT=Michigan City)".
   std::string ToString(const Schema& schema) const;
 
+  /// Renders the rule in the exact textual syntax AddRuleFromString
+  /// parses, e.g. "ZIP=46360 -> CT=Michigan City" — the serialization the
+  /// workload exporter writes to rules.txt. The caller is responsible for
+  /// checking the constants survive the syntax (see RuleSurvivesText).
+  std::string ToRuleText(const Schema& schema) const;
+
  private:
   std::string name_;
   std::vector<PatternCell> lhs_;
@@ -78,7 +85,8 @@ class RuleSet {
   /// Adds a (possibly multi-RHS) rule, normalizing it into one stored Cfd
   /// per RHS attribute (named "<name>.1", "<name>.2", ... when split).
   /// Fails if an attribute id is out of range, the LHS is empty, an RHS
-  /// attribute also appears in the LHS, or the RHS is empty.
+  /// attribute also appears in the LHS, the RHS is empty, or a stored rule
+  /// already carries the (post-split) name.
   Status AddRule(std::string name, std::vector<PatternCell> lhs,
                  std::vector<PatternCell> rhs);
 
@@ -89,7 +97,9 @@ class RuleSet {
   ///
   /// LHS items are comma-separated, RHS items semicolon-separated. An item
   /// is "Attr" (wildcard) or "Attr=value"; values extend to the next
-  /// delimiter with surrounding whitespace trimmed.
+  /// delimiter with surrounding whitespace trimmed. Errors name the rule
+  /// and the offending token (unknown attribute, empty item, missing
+  /// arrow, duplicate name).
   Status AddRuleFromString(std::string name, std::string_view text);
 
   /// Ids of rules whose LHS or RHS mentions `attr`. Never returns nulls;
@@ -104,8 +114,20 @@ class RuleSet {
   std::vector<Cfd> rules_;
   // attr -> rule ids mentioning it; rebuilt incrementally by AddRule.
   std::vector<std::vector<RuleId>> attr_to_rules_;
+  // Stored (post-split) rule names, for duplicate rejection.
+  std::unordered_set<std::string> names_;
   std::vector<RuleId> empty_;
 };
+
+/// True when `rule` round-trips through the textual syntax: its name is
+/// non-empty, has no ':' / newline / surrounding whitespace, and does not
+/// start with the comment marker '#'; and every mentioned attribute name
+/// and pattern constant is free of the delimiters the parser splits on
+/// (',', ';', '=', "->", newlines) and of surrounding whitespace (which
+/// the parser trims away). The workload exporter checks this before
+/// writing rules.txt.
+bool RuleSurvivesText(const Cfd& rule, const Schema& schema,
+                      std::string* offending_token);
 
 }  // namespace gdr
 

@@ -6,15 +6,38 @@
 namespace gdr {
 
 Result<std::vector<std::string>> ParseCsvLine(std::string_view line) {
+  // One state machine for the whole module: delegate to the document
+  // parser and insist on a single record.
+  GDR_ASSIGN_OR_RETURN(std::vector<std::vector<std::string>> rows,
+                       ParseCsv(line));
+  if (rows.empty()) return std::vector<std::string>{""};
+  if (rows.size() > 1) {
+    return Status::InvalidArgument(
+        "expected a single CSV record, got " + std::to_string(rows.size()));
+  }
+  return std::move(rows.front());
+}
+
+Result<std::vector<std::vector<std::string>>> ParseCsv(std::string_view text) {
+  std::vector<std::vector<std::string>> rows;
   std::vector<std::string> fields;
   std::string current;
   bool in_quotes = false;
+  bool record_active = false;  // a blank line never becomes a record
   std::size_t i = 0;
-  while (i < line.size()) {
-    const char c = line[i];
+  auto end_record = [&] {
+    if (!record_active) return;
+    fields.push_back(std::move(current));
+    current.clear();
+    rows.push_back(std::move(fields));
+    fields.clear();
+    record_active = false;
+  };
+  while (i < text.size()) {
+    const char c = text[i];
     if (in_quotes) {
       if (c == '"') {
-        if (i + 1 < line.size() && line[i + 1] == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
           current.push_back('"');
           i += 2;
           continue;
@@ -22,26 +45,35 @@ Result<std::vector<std::string>> ParseCsvLine(std::string_view line) {
         in_quotes = false;
         ++i;
       } else {
+        // Quoted content is preserved verbatim (including CR/LF), so any
+        // cell value survives a write→read round trip byte-identically.
         current.push_back(c);
         ++i;
       }
+    } else if (c == '\n' || c == '\r') {
+      // LF, CRLF, and lone CR all terminate the record.
+      i += (c == '\r' && i + 1 < text.size() && text[i + 1] == '\n') ? 2 : 1;
+      end_record();
     } else if (c == '"' && current.empty()) {
       in_quotes = true;
+      record_active = true;
       ++i;
     } else if (c == ',') {
       fields.push_back(std::move(current));
       current.clear();
+      record_active = true;
       ++i;
     } else {
       current.push_back(c);
+      record_active = true;
       ++i;
     }
   }
   if (in_quotes) {
     return Status::InvalidArgument("unterminated quoted CSV field");
   }
-  fields.push_back(std::move(current));
-  return fields;
+  end_record();  // final record without a trailing newline
+  return rows;
 }
 
 std::string FormatCsvLine(const std::vector<std::string>& fields) {
@@ -49,8 +81,11 @@ std::string FormatCsvLine(const std::vector<std::string>& fields) {
   for (std::size_t i = 0; i < fields.size(); ++i) {
     if (i > 0) out.push_back(',');
     const std::string& f = fields[i];
+    // A lone empty field must be quoted: an unquoted one would serialize
+    // to a blank line, which the reader skips as a non-record.
     const bool needs_quote =
-        f.find_first_of(",\"\n\r") != std::string::npos;
+        f.find_first_of(",\"\n\r") != std::string::npos ||
+        (fields.size() == 1 && f.empty());
     if (!needs_quote) {
       out += f;
       continue;
@@ -65,27 +100,43 @@ std::string FormatCsvLine(const std::vector<std::string>& fields) {
   return out;
 }
 
+void WriteCsvLine(std::ostream& out, const std::vector<std::string>& fields) {
+  out << FormatCsvLine(fields) << '\n';
+}
+
 Result<std::vector<std::vector<std::string>>> ReadCsvFile(
     const std::string& path) {
-  std::ifstream in(path);
+  std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IOError("cannot open " + path);
-  std::vector<std::vector<std::string>> rows;
-  std::string line;
-  while (std::getline(in, line)) {
-    if (!line.empty() && line.back() == '\r') line.pop_back();
-    if (line.empty()) continue;
-    GDR_ASSIGN_OR_RETURN(std::vector<std::string> fields, ParseCsvLine(line));
-    rows.push_back(std::move(fields));
+  // Single-copy slurp: size the string once, read straight into it.
+  std::string contents;
+  in.seekg(0, std::ios::end);
+  const auto size = in.tellg();
+  if (size < 0) return Status::IOError("cannot size " + path);
+  contents.resize(static_cast<std::size_t>(size));
+  in.seekg(0, std::ios::beg);
+  in.read(contents.data(), static_cast<std::streamsize>(contents.size()));
+  if (in.bad() ||
+      in.gcount() != static_cast<std::streamsize>(contents.size())) {
+    return Status::IOError("read failed for " + path);
   }
+  GDR_ASSIGN_OR_RETURN(std::vector<std::vector<std::string>> rows,
+                       ParseCsv(contents));
   return rows;
 }
 
 Status WriteCsvFile(const std::string& path,
                     const std::vector<std::vector<std::string>>& rows) {
-  std::ofstream out(path, std::ios::trunc);
+  std::ofstream out(path, std::ios::trunc | std::ios::binary);
   if (!out) return Status::IOError("cannot open " + path + " for writing");
-  for (const auto& row : rows) {
-    out << FormatCsvLine(row) << '\n';
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    if (rows[i].empty()) {
+      // A zero-field record would render as a blank line, which the
+      // reader skips — refuse instead of silently losing the row.
+      return Status::InvalidArgument("row " + std::to_string(i) +
+                                     " has no fields; cannot round-trip");
+    }
+    WriteCsvLine(out, rows[i]);
   }
   if (!out) return Status::IOError("write failed for " + path);
   return Status::OK();

@@ -1,6 +1,7 @@
 #ifndef GDR_UTIL_CSV_H_
 #define GDR_UTIL_CSV_H_
 
+#include <ostream>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -14,14 +15,29 @@ namespace gdr {
 /// escaped quotes by doubling. Sufficient for the example applications and
 /// for persisting generated datasets; not a general-purpose CSV engine.
 
-/// Splits one CSV record into fields. Fails on an unterminated quoted field.
+/// Splits one CSV record into fields (ParseCsv restricted to a single
+/// record; more than one record is an error, empty input is one empty
+/// field). Fails on an unterminated quoted field.
 Result<std::vector<std::string>> ParseCsvLine(std::string_view line);
 
+/// Parses a whole CSV document: records are separated by LF or CRLF
+/// *outside* quotes, quoted fields may span lines (quoted content is
+/// preserved byte-for-byte, CR included), and a final record without a
+/// trailing newline is kept. Blank records (empty lines) are skipped.
+/// Fails on an unterminated quoted field at end of input.
+Result<std::vector<std::vector<std::string>>> ParseCsv(std::string_view text);
+
 /// Serializes fields into one CSV record (no trailing newline), quoting any
-/// field containing a comma, quote, or newline.
+/// field containing a comma, quote, or newline — and a lone empty field,
+/// which would otherwise render as a skippable blank line.
 std::string FormatCsvLine(const std::vector<std::string>& fields);
 
-/// Reads a whole CSV file into rows of fields. Empty lines are skipped.
+/// Streams one CSV record (with trailing '\n') to `out` with the same
+/// quoting as FormatCsvLine — the writer half the workload exporter uses.
+void WriteCsvLine(std::ostream& out, const std::vector<std::string>& fields);
+
+/// Reads a whole CSV file into rows of fields via ParseCsv (so CRLF files
+/// and quoted multi-line fields load correctly). Empty lines are skipped.
 Result<std::vector<std::vector<std::string>>> ReadCsvFile(
     const std::string& path);
 

@@ -1,0 +1,23 @@
+#ifndef GDR_UTIL_STRINGS_H_
+#define GDR_UTIL_STRINGS_H_
+
+#include <cctype>
+#include <string_view>
+
+namespace gdr {
+
+/// Strips leading/trailing whitespace (std::isspace) from a view — the one
+/// trim used by the CFD rule parser and the workload spec/file parsers.
+inline std::string_view TrimWhitespace(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+}  // namespace gdr
+
+#endif  // GDR_UTIL_STRINGS_H_

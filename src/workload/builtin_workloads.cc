@@ -1,0 +1,116 @@
+// The generator-backed built-in workloads. The dataset1/dataset2 entries
+// are deliberately thin: they translate string parameters into the
+// generator option structs and delegate, so resolving "dataset1:seed=11"
+// is bit-identical to calling GenerateDataset1({.seed = 11}) directly
+// (workload_test pins this down cell-by-cell).
+#include "sim/dataset1.h"
+#include "sim/dataset2.h"
+#include "workload/registry.h"
+
+namespace gdr {
+
+namespace {
+
+Result<Dataset> MakeDataset1(const WorkloadSpec& spec) {
+  GDR_RETURN_NOT_OK(spec.RejectUnknownKeys(
+      {"records", "hospitals", "volume_skew", "error_scale", "seed"}));
+  const Dataset1Options defaults;
+  Dataset1Options options;
+  GDR_ASSIGN_OR_RETURN(options.num_records,
+                       spec.GetSize("records", defaults.num_records));
+  GDR_ASSIGN_OR_RETURN(options.num_hospitals,
+                       spec.GetSize("hospitals", defaults.num_hospitals));
+  GDR_ASSIGN_OR_RETURN(options.volume_skew,
+                       spec.GetDouble("volume_skew", defaults.volume_skew));
+  GDR_ASSIGN_OR_RETURN(options.error_scale,
+                       spec.GetDouble("error_scale", defaults.error_scale));
+  GDR_ASSIGN_OR_RETURN(options.seed, spec.GetUint64("seed", defaults.seed));
+  return GenerateDataset1(options);
+}
+
+Result<Dataset> MakeDataset2(const WorkloadSpec& spec) {
+  GDR_RETURN_NOT_OK(spec.RejectUnknownKeys(
+      {"records", "dirty_fraction", "seed", "min_support", "min_confidence"}));
+  const Dataset2Options defaults;
+  Dataset2Options options;
+  GDR_ASSIGN_OR_RETURN(options.num_records,
+                       spec.GetSize("records", defaults.num_records));
+  GDR_ASSIGN_OR_RETURN(
+      options.dirty_tuple_fraction,
+      spec.GetDouble("dirty_fraction", defaults.dirty_tuple_fraction));
+  GDR_ASSIGN_OR_RETURN(options.seed, spec.GetUint64("seed", defaults.seed));
+  GDR_ASSIGN_OR_RETURN(
+      options.discovery.min_support,
+      spec.GetDouble("min_support", defaults.discovery.min_support));
+  GDR_ASSIGN_OR_RETURN(
+      options.discovery.min_confidence,
+      spec.GetDouble("min_confidence", defaults.discovery.min_confidence));
+  return GenerateDataset2(options);
+}
+
+// The paper's Figure 1 running example: Customer(Name, SRC, STR, CT, STT,
+// ZIP), six tuples, four injected errors, rules phi1..phi5. Small enough
+// to eyeball — the default workload of quickstart and the interactive REPL,
+// and the content of the examples/data/ toy CSV files.
+Result<Dataset> MakeFigure1(const WorkloadSpec& spec) {
+  GDR_RETURN_NOT_OK(spec.RejectUnknownKeys({}));
+  GDR_ASSIGN_OR_RETURN(
+      Schema schema, Schema::Make({"Name", "SRC", "STR", "CT", "STT", "ZIP"}));
+  Dataset dataset(schema);
+  dataset.name = "figure1";
+
+  const std::vector<std::vector<std::string>> truth = {
+      {"Ann", "H1", "Sherden Rd", "Fort Wayne", "IN", "46825"},
+      {"Bob", "H1", "Sherden Rd", "Fort Wayne", "IN", "46825"},
+      {"Cal", "H2", "Oak Ave", "Michigan City", "IN", "46360"},
+      {"Dee", "H2", "Oak Ave", "Michigan City", "IN", "46360"},
+      {"Eve", "H3", "Main St", "New Haven", "IN", "46774"},
+      {"Fay", "H4", "Main St", "Westville", "IN", "46391"},
+  };
+  for (const auto& row : truth) {
+    GDR_ASSIGN_OR_RETURN(const RowId added, dataset.clean.AppendRow(row));
+    (void)added;
+  }
+
+  // H2's operator mistypes cities, Bob's zip was confused with the
+  // neighboring code, Eve's state got spelled out.
+  dataset.dirty = dataset.clean;
+  dataset.dirty.Set(1, 5, "46391");
+  dataset.dirty.Set(2, 3, "Michigan Cty");
+  dataset.dirty.Set(3, 3, "Michigan Cty");
+  dataset.dirty.Set(4, 4, "IND");
+  dataset.corrupted_tuples = 4;
+
+  GDR_RETURN_NOT_OK(dataset.rules.AddRuleFromString(
+      "phi1", "ZIP=46360 -> CT=Michigan City ; STT=IN"));
+  GDR_RETURN_NOT_OK(dataset.rules.AddRuleFromString(
+      "phi2", "ZIP=46774 -> CT=New Haven ; STT=IN"));
+  GDR_RETURN_NOT_OK(dataset.rules.AddRuleFromString(
+      "phi3", "ZIP=46825 -> CT=Fort Wayne ; STT=IN"));
+  GDR_RETURN_NOT_OK(dataset.rules.AddRuleFromString(
+      "phi4", "ZIP=46391 -> CT=Westville ; STT=IN"));
+  GDR_RETURN_NOT_OK(
+      dataset.rules.AddRuleFromString("phi5", "STR, CT=Fort Wayne -> ZIP"));
+  return dataset;
+}
+
+}  // namespace
+
+Status RegisterBuiltinWorkloads(WorkloadRegistry* registry) {
+  GDR_RETURN_NOT_OK(registry->Register(
+      "dataset1",
+      "hospital feed with source-correlated errors "
+      "(records, hospitals, volume_skew, error_scale, seed)",
+      MakeDataset1));
+  GDR_RETURN_NOT_OK(registry->Register(
+      "dataset2",
+      "census with uniform random errors and discovered rules "
+      "(records, dirty_fraction, seed, min_support, min_confidence)",
+      MakeDataset2));
+  GDR_RETURN_NOT_OK(registry->Register(
+      "figure1", "the paper's six-tuple Figure 1 running example",
+      MakeFigure1));
+  return Status::OK();
+}
+
+}  // namespace gdr

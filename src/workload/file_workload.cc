@@ -1,0 +1,280 @@
+#include "workload/file_workload.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "sim/error_injector.h"
+#include "util/csv.h"
+#include "util/strings.h"
+
+namespace gdr {
+
+namespace {
+
+constexpr auto TrimView = TrimWhitespace;
+
+/// Parses one rules.txt into `rules`. Line format: "name: rule-text" in the
+/// AddRuleFromString syntax; '#' lines are comments; a line without a
+/// name prefix is auto-named r<line-number>.
+Status LoadRulesFile(const std::string& path, RuleSet* rules) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open rules file " + path);
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    const std::string_view trimmed = TrimView(line);
+    if (trimmed.empty() || trimmed.front() == '#') continue;
+    const std::size_t colon = trimmed.find(':');
+    std::string name;
+    std::string_view body;
+    if (colon == std::string_view::npos) {
+      name = "r" + std::to_string(line_number);
+      body = trimmed;
+    } else {
+      name = std::string(TrimView(trimmed.substr(0, colon)));
+      body = TrimView(trimmed.substr(colon + 1));
+      if (name.empty()) {
+        return Status::InvalidArgument(
+            path + ":" + std::to_string(line_number) +
+            ": empty rule name before ':'");
+      }
+    }
+    if (const Status added = rules->AddRuleFromString(std::move(name), body);
+        !added.ok()) {
+      return Status::InvalidArgument(path + ":" +
+                                     std::to_string(line_number) + ": " +
+                                     added.message());
+    }
+  }
+  return Status::OK();
+}
+
+Status AppendCsvRows(Table* table,
+                     const std::vector<std::vector<std::string>>& rows,
+                     const std::string& path) {
+  for (std::size_t r = 1; r < rows.size(); ++r) {
+    if (const auto added = table->AppendRow(rows[r]); !added.ok()) {
+      return Status::InvalidArgument(path + " record " + std::to_string(r) +
+                                     ": " + added.status().message());
+    }
+  }
+  return Status::OK();
+}
+
+Result<Dataset> LoadFromFiles(const WorkloadSpec& spec) {
+  GDR_RETURN_NOT_OK(spec.RejectUnknownKeys(
+      {"clean", "dirty", "rules", "name", "errors", "dirty_fraction",
+       "max_attrs", "char_edit_prob", "error_seed", "error_attrs"}));
+  const std::string* clean_path = spec.Find("clean");
+  if (clean_path == nullptr) {
+    return Status::InvalidArgument(
+        "csv workload needs clean=FILE (the clean instance)");
+  }
+  const std::string* rules_path = spec.Find("rules");
+  if (rules_path == nullptr) {
+    return Status::InvalidArgument(
+        "csv workload needs rules=FILE (the CFD rule base)");
+  }
+  const std::string* dirty_path = spec.Find("dirty");
+  const std::string* errors = spec.Find("errors");
+  if (dirty_path != nullptr && errors != nullptr) {
+    return Status::InvalidArgument(
+        "csv workload takes either dirty=FILE or errors=..., not both");
+  }
+  if (dirty_path != nullptr) {
+    // Injector knobs would be silently dead alongside a dirty file;
+    // reject them so a misconfiguration surfaces.
+    for (const char* key : {"dirty_fraction", "max_attrs", "char_edit_prob",
+                            "error_seed", "error_attrs"}) {
+      if (spec.Has(key)) {
+        return Status::InvalidArgument(
+            "csv workload: parameter '" + std::string(key) +
+            "' only applies with errors=random, not with dirty=FILE");
+      }
+    }
+  }
+  if (dirty_path == nullptr && errors == nullptr) {
+    return Status::InvalidArgument(
+        "csv workload needs a dirty instance: pass dirty=FILE or "
+        "errors=random");
+  }
+
+  GDR_ASSIGN_OR_RETURN(const auto clean_rows, ReadCsvFile(*clean_path));
+  if (clean_rows.size() < 2) {
+    return Status::InvalidArgument(
+        *clean_path + ": need a header record plus at least one data record");
+  }
+  GDR_ASSIGN_OR_RETURN(Schema schema, Schema::Make(clean_rows[0]));
+  Dataset dataset(schema);
+  GDR_ASSIGN_OR_RETURN(
+      dataset.name,
+      spec.GetString("name",
+                     std::filesystem::path(*clean_path).stem().string()));
+  GDR_RETURN_NOT_OK(AppendCsvRows(&dataset.clean, clean_rows, *clean_path));
+
+  // The dirty instance always starts as a copy of the clean one (shared
+  // value dictionaries) with per-cell edits applied row-major — the same
+  // construction order as the generators, which is what makes file
+  // round-trips bit-identical downstream.
+  dataset.dirty = dataset.clean;
+  if (dirty_path != nullptr) {
+    GDR_ASSIGN_OR_RETURN(const auto dirty_rows, ReadCsvFile(*dirty_path));
+    if (dirty_rows.empty() || dirty_rows[0] != clean_rows[0]) {
+      return Status::InvalidArgument(
+          *dirty_path + ": header must match " + *clean_path + " exactly");
+    }
+    if (dirty_rows.size() != clean_rows.size()) {
+      return Status::InvalidArgument(
+          *dirty_path + ": row count " + std::to_string(dirty_rows.size() - 1) +
+          " does not match " + *clean_path + " (" +
+          std::to_string(clean_rows.size() - 1) + ")");
+    }
+    for (std::size_t r = 1; r < dirty_rows.size(); ++r) {
+      if (dirty_rows[r].size() != schema.num_attrs()) {
+        return Status::InvalidArgument(
+            *dirty_path + " record " + std::to_string(r) + ": expected " +
+            std::to_string(schema.num_attrs()) + " fields, got " +
+            std::to_string(dirty_rows[r].size()));
+      }
+      const RowId row = static_cast<RowId>(r - 1);
+      bool row_corrupted = false;
+      for (std::size_t a = 0; a < schema.num_attrs(); ++a) {
+        const AttrId attr = static_cast<AttrId>(a);
+        if (dirty_rows[r][a] != clean_rows[r][a]) {
+          dataset.dirty.Set(row, attr, dirty_rows[r][a]);
+          row_corrupted = true;
+        }
+      }
+      if (row_corrupted) ++dataset.corrupted_tuples;
+    }
+  } else {
+    if (*errors != "random") {
+      return Status::InvalidArgument("csv workload: unknown error model '" +
+                                     *errors + "' (supported: random)");
+    }
+    std::vector<AttrId> attrs;
+    if (const std::string* attr_list = spec.Find("error_attrs");
+        attr_list != nullptr) {
+      std::string_view rest = *attr_list;
+      while (!rest.empty()) {
+        const std::size_t bar = rest.find('|');
+        const std::string_view item = TrimView(rest.substr(0, bar));
+        rest = bar == std::string_view::npos ? std::string_view()
+                                             : rest.substr(bar + 1);
+        if (item.empty()) continue;
+        GDR_ASSIGN_OR_RETURN(const AttrId attr, schema.GetAttr(item));
+        attrs.push_back(attr);
+      }
+      if (attrs.empty()) {
+        return Status::InvalidArgument(
+            "csv workload: error_attrs named no attributes");
+      }
+    } else {
+      for (std::size_t a = 0; a < schema.num_attrs(); ++a) {
+        attrs.push_back(static_cast<AttrId>(a));
+      }
+    }
+    RandomErrorOptions options;
+    GDR_ASSIGN_OR_RETURN(
+        options.dirty_tuple_fraction,
+        spec.GetDouble("dirty_fraction", options.dirty_tuple_fraction));
+    GDR_ASSIGN_OR_RETURN(options.max_attrs_per_tuple,
+                         spec.GetInt("max_attrs", options.max_attrs_per_tuple));
+    GDR_ASSIGN_OR_RETURN(
+        options.char_edit_probability,
+        spec.GetDouble("char_edit_prob", options.char_edit_probability));
+    GDR_ASSIGN_OR_RETURN(options.seed,
+                         spec.GetUint64("error_seed", options.seed));
+    dataset.corrupted_tuples =
+        InjectRandomErrors(&dataset.dirty, attrs, options);
+  }
+
+  GDR_RETURN_NOT_OK(LoadRulesFile(*rules_path, &dataset.rules));
+  return dataset;
+}
+
+Status WriteTableCsv(const Table& table, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc | std::ios::binary);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  WriteCsvLine(out, table.schema().attribute_names());
+  std::vector<std::string> row(table.num_attrs());
+  for (std::size_t r = 0; r < table.num_rows(); ++r) {
+    for (std::size_t a = 0; a < table.num_attrs(); ++a) {
+      row[a] = table.at(static_cast<RowId>(r), static_cast<AttrId>(a));
+    }
+    WriteCsvLine(out, row);
+  }
+  out.flush();
+  if (!out) return Status::IOError("write failed for " + path);
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<Dataset> LoadCsvWorkload(const WorkloadSpec& spec) {
+  return LoadFromFiles(spec);
+}
+
+Status ExportWorkload(const Dataset& dataset, const std::string& dir) {
+  if (dataset.clean.num_rows() != dataset.dirty.num_rows() ||
+      !(dataset.clean.schema() == dataset.dirty.schema())) {
+    return Status::InvalidArgument(
+        "dataset clean/dirty instances disagree on schema or row count");
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Status::IOError("cannot create directory " + dir + ": " +
+                           ec.message());
+  }
+  const WorkloadSpec paths = CsvWorkloadSpec(dir);
+  GDR_RETURN_NOT_OK(WriteTableCsv(dataset.clean, *paths.Find("clean")));
+  GDR_RETURN_NOT_OK(WriteTableCsv(dataset.dirty, *paths.Find("dirty")));
+
+  const std::string rules_path = *paths.Find("rules");
+  std::ofstream out(rules_path, std::ios::trunc);
+  if (!out) {
+    return Status::IOError("cannot open " + rules_path + " for writing");
+  }
+  out << "# " << dataset.name << ": " << dataset.rules.size()
+      << " rules in normal form (one RHS attribute per line)\n";
+  const Schema& schema = dataset.rules.schema();
+  for (const RuleId id : dataset.rules.AllRuleIds()) {
+    const Cfd& rule = dataset.rules.rule(id);
+    std::string offender;
+    if (!RuleSurvivesText(rule, schema, &offender)) {
+      return Status::InvalidArgument(
+          "rule '" + rule.name() + "': token '" + offender +
+          "' contains a delimiter or surrounding whitespace and cannot be "
+          "serialized to rules.txt");
+    }
+    out << rule.name() << ": " << rule.ToRuleText(schema) << '\n';
+  }
+  out.flush();
+  if (!out) return Status::IOError("write failed for " + rules_path);
+  return Status::OK();
+}
+
+WorkloadSpec CsvWorkloadSpec(const std::string& dir) {
+  const std::filesystem::path base(dir);
+  WorkloadSpec spec;
+  spec.name = "csv";
+  spec.params = {{"clean", (base / "clean.csv").string()},
+                 {"dirty", (base / "dirty.csv").string()},
+                 {"rules", (base / "rules.txt").string()}};
+  return spec;
+}
+
+Status RegisterFileWorkloads(WorkloadRegistry* registry) {
+  return registry->Register(
+      "csv",
+      "file-backed workload: clean=FILE,rules=FILE plus dirty=FILE or "
+      "errors=random[,dirty_fraction=,max_attrs=,char_edit_prob=,"
+      "error_seed=,error_attrs=A|B]",
+      LoadCsvWorkload);
+}
+
+}  // namespace gdr

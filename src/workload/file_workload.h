@@ -1,0 +1,61 @@
+#ifndef GDR_WORKLOAD_FILE_WORKLOAD_H_
+#define GDR_WORKLOAD_FILE_WORKLOAD_H_
+
+#include <string>
+
+#include "cfd/cfd.h"
+#include "sim/dataset.h"
+#include "util/result.h"
+#include "workload/registry.h"
+#include "workload/workload.h"
+
+namespace gdr {
+
+/// The file-backed "csv" workload factory. Builds a Dataset from
+///
+///   clean=FILE   (required) clean CSV; first record is the attribute header
+///   rules=FILE   (required) rules text, one CFD per line: "name: rule-text"
+///                in the AddRuleFromString syntax ('#' starts a comment
+///                line; a line without "name:" gets an auto name)
+///
+/// and exactly one source of dirt:
+///
+///   dirty=FILE   dirty CSV with the identical header and row count, or
+///   errors=random            deterministic random corruption of the clean
+///     dirty_fraction=F       instance (the Dataset 2 error model), with
+///     max_attrs=N            the ErrorInjector knobs parsed from the
+///     char_edit_prob=P       remaining key=value options; error_attrs is
+///     error_seed=S           a '|'-separated attribute-name list (default:
+///     error_attrs=A|B|C      every attribute).
+///
+/// Optional: name=STR overrides the workload display name (default: the
+/// clean file's stem).
+///
+/// When dirty= is given, the dirty table is materialized as a copy of the
+/// clean table with the differing cells applied row-major — exactly how the
+/// generators build theirs — so value-id interning, and therefore every
+/// downstream ranking tie-break, is reproduced bit-identically;
+/// `corrupted_tuples` is the number of rows with at least one differing
+/// cell.
+Result<Dataset> LoadCsvWorkload(const WorkloadSpec& spec);
+
+/// The inverse of the "csv" factory: writes `<dir>/clean.csv`,
+/// `<dir>/dirty.csv` (header + rows, RFC-4180 quoting), and
+/// `<dir>/rules.txt` ("name: rule-text" per normal-form rule), creating
+/// `dir` if needed. Fails when a rule name or pattern constant cannot
+/// survive the textual syntax (embedded delimiter or surrounding
+/// whitespace). Any in-memory workload round-trips: loading the exported
+/// files via CsvWorkloadSpec yields a Dataset with bit-identical tables,
+/// dictionaries, and rules.
+Status ExportWorkload(const Dataset& dataset, const std::string& dir);
+
+/// The spec that loads ExportWorkload's output back. Built as a struct
+/// (not spec text) so directories containing ',' still resolve.
+WorkloadSpec CsvWorkloadSpec(const std::string& dir);
+
+/// Registers the "csv" factory on `registry`.
+Status RegisterFileWorkloads(WorkloadRegistry* registry);
+
+}  // namespace gdr
+
+#endif  // GDR_WORKLOAD_FILE_WORKLOAD_H_

@@ -1,0 +1,96 @@
+#include "workload/registry.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "workload/file_workload.h"
+
+namespace gdr {
+
+Status WorkloadRegistry::Register(std::string name, std::string description,
+                                  Factory factory) {
+  if (name.empty()) {
+    return Status::InvalidArgument("workload name must be non-empty");
+  }
+  if (entries_.count(name) > 0) {
+    return Status::InvalidArgument("workload '" + name +
+                                   "' is already registered");
+  }
+  entries_.emplace(std::move(name),
+                   Entry{std::move(description), std::move(factory)});
+  return Status::OK();
+}
+
+bool WorkloadRegistry::Contains(std::string_view name) const {
+  return entries_.count(std::string(name)) > 0;
+}
+
+Result<Dataset> WorkloadRegistry::Resolve(const WorkloadSpec& spec) const {
+  const auto it = entries_.find(spec.name);
+  if (it == entries_.end()) {
+    std::string known;
+    for (const auto& [name, entry] : entries_) {
+      if (!known.empty()) known += ", ";
+      known += name;
+    }
+    return Status::NotFound("no workload named '" + spec.name +
+                            "' (registered: " + known + ")");
+  }
+  return it->second.factory(spec);
+}
+
+Result<Dataset> WorkloadRegistry::Resolve(std::string_view spec_text) const {
+  GDR_ASSIGN_OR_RETURN(const WorkloadSpec spec, WorkloadSpec::Parse(spec_text));
+  return Resolve(spec);
+}
+
+std::vector<std::pair<std::string, std::string>> WorkloadRegistry::List()
+    const {
+  std::vector<std::pair<std::string, std::string>> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) {
+    out.emplace_back(name, entry.description);
+  }
+  return out;
+}
+
+std::string FormatWorkloadListing(const WorkloadRegistry& registry) {
+  std::string out;
+  for (const auto& [name, description] : registry.List()) {
+    out += "  ";
+    out += name;
+    out.append(name.size() < 10 ? 10 - name.size() + 1 : 1, ' ');
+    out += description;
+    out += '\n';
+  }
+  return out;
+}
+
+Result<Dataset> ResolveWorkloadOrReport(const std::string& spec_text) {
+  auto dataset = WorkloadRegistry::Global().Resolve(spec_text);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "workload '%s': %s\nregistered workloads:\n%s",
+                 spec_text.c_str(), dataset.status().ToString().c_str(),
+                 FormatWorkloadListing(WorkloadRegistry::Global()).c_str());
+  }
+  return dataset;
+}
+
+WorkloadRegistry& WorkloadRegistry::Global() {
+  static WorkloadRegistry* registry = [] {
+    auto* r = new WorkloadRegistry();
+    const Status builtins = RegisterBuiltinWorkloads(r);
+    const Status file = RegisterFileWorkloads(r);
+    if (!builtins.ok() || !file.ok()) {
+      // Unreachable by construction (fixed, unique names); loudly abort
+      // rather than hand out a half-populated global registry.
+      std::fprintf(stderr, "workload registry bootstrap failed: %s %s\n",
+                   builtins.ToString().c_str(), file.ToString().c_str());
+      std::abort();
+    }
+    return r;
+  }();
+  return *registry;
+}
+
+}  // namespace gdr

@@ -46,6 +46,102 @@ TEST(CfdTest, ParserRejectsMalformed) {
   EXPECT_FALSE(rules.AddRuleFromString("bad", " -> CT=x").ok());
 }
 
+TEST(CfdTest, ParserErrorsNameRuleAndOffendingToken) {
+  RuleSet rules(CustomerSchema());
+  const Status no_arrow = rules.AddRuleFromString("phiX", "no arrow here");
+  ASSERT_FALSE(no_arrow.ok());
+  EXPECT_NE(no_arrow.message().find("'phiX'"), std::string::npos);
+  EXPECT_NE(no_arrow.message().find("'no arrow here'"), std::string::npos);
+
+  const Status unknown =
+      rules.AddRuleFromString("phiY", "Unknwon=1 -> CT=x");
+  ASSERT_FALSE(unknown.ok());
+  EXPECT_NE(unknown.message().find("'phiY'"), std::string::npos);
+  EXPECT_NE(unknown.message().find("'Unknwon'"), std::string::npos);
+  EXPECT_NE(unknown.message().find("LHS"), std::string::npos);
+
+  const Status unknown_rhs =
+      rules.AddRuleFromString("phiZ", "ZIP=1 -> Ctty=x");
+  ASSERT_FALSE(unknown_rhs.ok());
+  EXPECT_NE(unknown_rhs.message().find("'Ctty'"), std::string::npos);
+  EXPECT_NE(unknown_rhs.message().find("RHS"), std::string::npos);
+
+  const Status empty_item = rules.AddRuleFromString("phiW", " -> CT=x");
+  ASSERT_FALSE(empty_item.ok());
+  EXPECT_NE(empty_item.message().find("empty LHS"), std::string::npos);
+
+  // Failed adds leave the set untouched.
+  EXPECT_EQ(rules.size(), 0u);
+}
+
+TEST(CfdTest, DuplicateRuleNamesRejected) {
+  RuleSet rules(CustomerSchema());
+  ASSERT_TRUE(rules.AddRuleFromString("phi", "ZIP=1 -> CT=x").ok());
+  const Status dup = rules.AddRuleFromString("phi", "ZIP=2 -> CT=y");
+  ASSERT_FALSE(dup.ok());
+  EXPECT_NE(dup.message().find("duplicate rule name 'phi'"),
+            std::string::npos);
+  EXPECT_EQ(rules.size(), 1u);
+
+  // Split multi-RHS names collide with existing ".N" names — and the
+  // failed add is atomic (neither half lands).
+  ASSERT_TRUE(rules.AddRuleFromString("psi.2", "ZIP=3 -> CT=z").ok());
+  EXPECT_FALSE(
+      rules.AddRuleFromString("psi", "ZIP=4 -> CT=a ; STT=b").ok());
+  EXPECT_EQ(rules.size(), 2u);
+}
+
+TEST(CfdTest, ToRuleTextRoundTripsThroughParser) {
+  RuleSet rules(CustomerSchema());
+  ASSERT_TRUE(rules.AddRuleFromString("phi5", "STR, CT=Fort Wayne -> ZIP")
+                  .ok());
+  ASSERT_TRUE(rules.AddRuleFromString("phi1", "ZIP=46360 -> CT=Michigan City")
+                  .ok());
+  RuleSet reparsed(CustomerSchema());
+  for (const RuleId id : rules.AllRuleIds()) {
+    const Cfd& rule = rules.rule(id);
+    std::string offender;
+    EXPECT_TRUE(RuleSurvivesText(rule, rules.schema(), &offender)) << offender;
+    ASSERT_TRUE(reparsed
+                    .AddRuleFromString(rule.name(),
+                                       rule.ToRuleText(rules.schema()))
+                    .ok());
+    EXPECT_EQ(reparsed.rule(id).ToString(reparsed.schema()),
+              rule.ToString(rules.schema()));
+  }
+}
+
+TEST(CfdTest, RuleSurvivesTextFlagsDelimiterConstants) {
+  RuleSet rules(CustomerSchema());
+  ASSERT_TRUE(rules.AddRule("r1", {PatternCell{5, "4,6"}},
+                            {PatternCell{3, std::nullopt}})
+                  .ok());
+  std::string offender;
+  EXPECT_FALSE(RuleSurvivesText(rules.rule(0), rules.schema(), &offender));
+  EXPECT_EQ(offender, "4,6");
+
+  RuleSet ok_rules(CustomerSchema());
+  ASSERT_TRUE(ok_rules.AddRule("r1", {PatternCell{5, "46360"}},
+                               {PatternCell{3, "Michigan City"}})
+                  .ok());
+  EXPECT_TRUE(RuleSurvivesText(ok_rules.rule(0), ok_rules.schema(), nullptr));
+}
+
+TEST(CfdTest, RuleSurvivesTextFlagsUnloadableNames) {
+  // A '#'-prefixed name would be skipped as a comment by the rules-file
+  // loader; an empty or colon-bearing name would mis-split on reload.
+  for (const char* name : {"#r1", "", "a:b", " r1"}) {
+    RuleSet rules(CustomerSchema());
+    ASSERT_TRUE(rules.AddRule(name, {PatternCell{5, "1"}},
+                              {PatternCell{3, "x"}})
+                    .ok());
+    std::string offender;
+    EXPECT_FALSE(RuleSurvivesText(rules.rule(0), rules.schema(), &offender))
+        << "name '" << name << "' should not survive";
+    EXPECT_EQ(offender, name);
+  }
+}
+
 TEST(CfdTest, AddRuleValidatesStructure) {
   RuleSet rules(CustomerSchema());
   // RHS attribute repeated in LHS.

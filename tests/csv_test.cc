@@ -2,6 +2,8 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
+#include <sstream>
 
 #include <gtest/gtest.h>
 
@@ -83,6 +85,121 @@ TEST(CsvTest, ReadMissingFileFails) {
   auto read = ReadCsvFile("/nonexistent/path/file.csv");
   EXPECT_FALSE(read.ok());
   EXPECT_EQ(read.status().code(), StatusCode::kIOError);
+}
+
+TEST(CsvTest, ParseTrailingEmptyField) {
+  auto fields = ParseCsvLine("a,b,");
+  ASSERT_TRUE(fields.ok());
+  EXPECT_EQ(*fields, (std::vector<std::string>{"a", "b", ""}));
+  auto quoted = ParseCsvLine("a,\"\"");
+  ASSERT_TRUE(quoted.ok());
+  EXPECT_EQ(*quoted, (std::vector<std::string>{"a", ""}));
+}
+
+TEST(CsvTest, ParseCsvSplitsRecordsAndSkipsBlankLines) {
+  auto rows = ParseCsv("a,b\n\nc,d\ne,f");  // no trailing newline
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 3u);
+  EXPECT_EQ((*rows)[0], (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ((*rows)[1], (std::vector<std::string>{"c", "d"}));
+  EXPECT_EQ((*rows)[2], (std::vector<std::string>{"e", "f"}));
+}
+
+TEST(CsvTest, ParseCsvHandlesCrlfAndTrailingEmptyFields) {
+  auto rows = ParseCsv("a,b,\r\nc,,\r\n");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[0], (std::vector<std::string>{"a", "b", ""}));
+  EXPECT_EQ((*rows)[1], (std::vector<std::string>{"c", "", ""}));
+}
+
+TEST(CsvTest, ParseCsvQuotedFieldSpansLines) {
+  auto rows = ParseCsv("\"two\nlines\",x\nplain,y\n");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[0], (std::vector<std::string>{"two\nlines", "x"}));
+  // Quoted content is byte-preserved: CRLF inside quotes stays CRLF, so
+  // cells containing "\r\n" survive a write→read round trip.
+  auto crlf = ParseCsv("\"two\r\nlines\",x\r\n");
+  ASSERT_TRUE(crlf.ok());
+  EXPECT_EQ((*crlf)[0][0], "two\r\nlines");
+}
+
+TEST(CsvTest, SingleEmptyFieldRowRoundTrips) {
+  EXPECT_EQ(FormatCsvLine({""}), "\"\"");
+  auto rows = ParseCsv("a\n\"\"\nb\n");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 3u);
+  EXPECT_EQ((*rows)[1], (std::vector<std::string>{""}));
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "gdr_csv_empty_test.csv")
+          .string();
+  const std::vector<std::vector<std::string>> table = {{"x"}, {""}, {"y"}};
+  ASSERT_TRUE(WriteCsvFile(path, table).ok());
+  auto read = ReadCsvFile(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, table);
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, ParseCsvLineRejectsMultipleRecords) {
+  auto parsed = ParseCsvLine("a,b\nc,d");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+  // Empty input stays one empty field (legacy behavior).
+  auto empty = ParseCsvLine("");
+  ASSERT_TRUE(empty.ok());
+  EXPECT_EQ(*empty, std::vector<std::string>{""});
+}
+
+TEST(CsvTest, ParseCsvUnterminatedQuoteFails) {
+  auto rows = ParseCsv("a,b\n\"open,c\n");
+  EXPECT_FALSE(rows.ok());
+  EXPECT_EQ(rows.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CsvTest, ParseCsvEscapedQuotes) {
+  auto rows = ParseCsv("\"say \"\"hi\"\"\",b\n");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ((*rows)[0], (std::vector<std::string>{"say \"hi\"", "b"}));
+}
+
+TEST(CsvTest, FileRoundTripWithEmbeddedNewlines) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "gdr_csv_nl_test.csv")
+          .string();
+  const std::vector<std::vector<std::string>> rows = {
+      {"Name", "Note"},
+      {"A", "line one\nline two"},
+      {"B", "trailing"},
+      {"C", ""},
+  };
+  ASSERT_TRUE(WriteCsvFile(path, rows).ok());
+  auto read = ReadCsvFile(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, rows);
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, ReadCsvFileAcceptsCrlfFile) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "gdr_csv_crlf_test.csv")
+          .string();
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "A,B\r\n1,2\r\n3,4\r\n";
+  }
+  auto read = ReadCsvFile(path);
+  ASSERT_TRUE(read.ok());
+  ASSERT_EQ(read->size(), 3u);
+  EXPECT_EQ((*read)[2], (std::vector<std::string>{"3", "4"}));
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, WriteCsvLineMatchesFormat) {
+  std::ostringstream out;
+  WriteCsvLine(out, {"a", "with,comma", "q\"q"});
+  EXPECT_EQ(out.str(), "a,\"with,comma\",\"q\"\"q\"\n");
 }
 
 }  // namespace

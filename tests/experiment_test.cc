@@ -4,14 +4,13 @@
 
 #include <gtest/gtest.h>
 
-#include "sim/dataset1.h"
-#include "sim/dataset2.h"
+#include "workload/registry.h"
 
 namespace gdr {
 namespace {
 
 Dataset TinyDataset() {
-  return *GenerateDataset1({.num_records = 600, .seed = 33});
+  return *WorkloadRegistry::Global().Resolve("dataset1:records=600,seed=33");
 }
 
 TEST(ExperimentTest, RunsAndReportsCurve) {
@@ -142,7 +141,8 @@ TEST(ExperimentTest, HeuristicReportsWallClock) {
 }
 
 TEST(ExperimentTest, WorksOnDataset2) {
-  Dataset dataset = *GenerateDataset2({.num_records = 800, .seed = 44});
+  Dataset dataset =
+      *WorkloadRegistry::Global().Resolve("dataset2:records=800,seed=44");
   ExperimentConfig config;
   config.strategy = Strategy::kGdr;
   config.feedback_budget = 150;

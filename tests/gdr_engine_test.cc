@@ -3,14 +3,14 @@
 #include <gtest/gtest.h>
 
 #include "core/quality.h"
-#include "sim/dataset1.h"
 #include "sim/oracle.h"
+#include "workload/registry.h"
 
 namespace gdr {
 namespace {
 
 Dataset SmallDataset() {
-  return *GenerateDataset1({.num_records = 800, .seed = 21});
+  return *WorkloadRegistry::Global().Resolve("dataset1:records=800,seed=21");
 }
 
 TEST(GdrEngineTest, RunRequiresInitialize) {

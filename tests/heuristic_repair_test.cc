@@ -2,7 +2,7 @@
 
 #include <gtest/gtest.h>
 
-#include "sim/dataset1.h"
+#include "workload/registry.h"
 
 namespace gdr {
 namespace {
@@ -54,7 +54,7 @@ TEST(HeuristicRepairTest, TerminatesOnCleanDatabase) {
 }
 
 TEST(HeuristicRepairTest, RespectsMaxPasses) {
-  Dataset dataset = *GenerateDataset1({.num_records = 500, .seed = 3});
+  Dataset dataset = *WorkloadRegistry::Global().Resolve("dataset1:records=500,seed=3");
   Table working = dataset.dirty;
   ViolationIndex index(&working, &dataset.rules);
   HeuristicRepairOptions options;
@@ -64,7 +64,7 @@ TEST(HeuristicRepairTest, RespectsMaxPasses) {
 }
 
 TEST(HeuristicRepairTest, ReducesViolationsOnDataset1) {
-  Dataset dataset = *GenerateDataset1({.num_records = 1000, .seed = 7});
+  Dataset dataset = *WorkloadRegistry::Global().Resolve("dataset1:records=1000,seed=7");
   Table working = dataset.dirty;
   ViolationIndex index(&working, &dataset.rules);
   const std::int64_t before = index.TotalViolations();
@@ -75,7 +75,7 @@ TEST(HeuristicRepairTest, ReducesViolationsOnDataset1) {
 }
 
 TEST(HeuristicRepairTest, SecondRunIsNoOpAfterConvergence) {
-  Dataset dataset = *GenerateDataset1({.num_records = 500, .seed = 9});
+  Dataset dataset = *WorkloadRegistry::Global().Resolve("dataset1:records=500,seed=9");
   Table working = dataset.dirty;
   ViolationIndex index(&working, &dataset.rules);
   RunBatchRepair(&index, &working);

@@ -3,9 +3,8 @@
 // reduced scale.
 #include <gtest/gtest.h>
 
-#include "sim/dataset1.h"
-#include "sim/dataset2.h"
 #include "sim/experiment.h"
+#include "workload/registry.h"
 
 namespace gdr {
 namespace {
@@ -13,10 +12,10 @@ namespace {
 class IntegrationFixture : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
-    dataset1_ = new Dataset(*GenerateDataset1({.num_records = 2000,
-                                               .seed = 55}));
-    dataset2_ = new Dataset(*GenerateDataset2({.num_records = 2000,
-                                               .seed = 55}));
+    dataset1_ = new Dataset(*WorkloadRegistry::Global().Resolve(
+        "dataset1:records=2000,seed=55"));
+    dataset2_ = new Dataset(*WorkloadRegistry::Global().Resolve(
+        "dataset2:records=2000,seed=55"));
   }
   static void TearDownTestSuite() {
     delete dataset1_;

@@ -10,7 +10,7 @@
 #include <gtest/gtest.h>
 
 #include "core/session.h"
-#include "sim/dataset1.h"
+#include "workload/registry.h"
 #include "sim/experiment.h"
 #include "sim/oracle.h"
 
@@ -24,7 +24,7 @@ constexpr Strategy kAllStrategies[] = {
 };
 
 Dataset SmallDataset() {
-  return *GenerateDataset1({.num_records = 600, .seed = 21});
+  return *WorkloadRegistry::Global().Resolve("dataset1:records=600,seed=21");
 }
 
 void ExpectSameStats(const GdrStats& a, const GdrStats& b,

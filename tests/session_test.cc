@@ -6,14 +6,14 @@
 
 #include <gtest/gtest.h>
 
-#include "sim/dataset1.h"
 #include "sim/oracle.h"
+#include "workload/registry.h"
 
 namespace gdr {
 namespace {
 
 Dataset SmallDataset() {
-  return *GenerateDataset1({.num_records = 600, .seed = 21});
+  return *WorkloadRegistry::Global().Resolve("dataset1:records=600,seed=21");
 }
 
 // Answers every live suggestion of one delivered batch with the oracle.

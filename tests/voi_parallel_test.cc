@@ -4,7 +4,7 @@
 #include <vector>
 
 #include "core/voi.h"
-#include "sim/dataset1.h"
+#include "workload/registry.h"
 #include "sim/experiment.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
@@ -168,7 +168,7 @@ INSTANTIATE_TEST_SUITE_P(Seeds, VoiParallelTest, ::testing::Range(1, 7));
 // Determinism: a full Experiment run with a fixed seed yields identical
 // stats and repair precision/recall regardless of num_threads.
 TEST(VoiParallelDeterminismTest, ExperimentIdenticalAcrossThreadCounts) {
-  const Dataset dataset = *GenerateDataset1({.num_records = 600, .seed = 21});
+  const Dataset dataset = *WorkloadRegistry::Global().Resolve("dataset1:records=600,seed=21");
 
   auto run = [&dataset](std::size_t num_threads) {
     ExperimentConfig config;
