@@ -11,11 +11,20 @@
 // Speedups are hardware-dependent; `hardware_concurrency` is recorded in
 // the JSON so a 1-core CI result is not mistaken for a regression.
 //
+// Also emits BENCH_hotpath.json: the single-thread hot-path numbers
+// (index-build seconds, UpdateBenefit ns/update with the reusable scratch
+// delta vs a fresh delta per update, full serial Rank() seconds) so the
+// perf trajectory tracks single-thread constant factors, not just
+// parallel speedup — on 1-core bench hardware the constant factors are
+// the whole story. `scores_match` in that file asserts the scratch-reuse
+// path scores bit-identically to fresh-delta evaluation.
+//
 // Flags: --workload=name:key=val,... (default dataset1, parameterized by
 //        the legacy flags below; the first workload is measured)
 //        --records=N (default 20000) --seed=S (default 42)
 //        --repeats=R (default 5, best-of) --threads-max=T (default 8)
 //        --out=PATH (default BENCH_voi.json)
+//        --hotpath-out=PATH (default BENCH_hotpath.json)
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -99,10 +108,71 @@ int RunBench(int argc, char** argv) {
       specs.front().c_str(), resolved_rows, groups.size(), updates, repeats,
       std::thread::hardware_concurrency());
 
-  // Serial reference.
+  // Serial reference (scratch-reusing hot path — what Rank always does).
   VoiRanker serial(&engine.index(), &engine.rule_weights());
   VoiRanker::Ranking reference;
   const double serial_seconds = TimeRank(serial, groups, repeats, &reference);
+
+  // ---- Single-thread hot-path section (BENCH_hotpath.json) ------------
+  // Index build: full scan over the dirty instance.
+  double build_seconds = -1.0;
+  for (int r = 0; r < repeats; ++r) {
+    Table rebuild_table = dataset.dirty;
+    Stopwatch watch;
+    ViolationIndex rebuilt(&rebuild_table, &dataset.rules);
+    const double seconds = watch.ElapsedSeconds();
+    if (rebuilt.TotalViolations() != engine.index().TotalViolations()) {
+      std::printf("index rebuild mismatch\n");
+      return 1;
+    }
+    if (build_seconds < 0.0 || seconds < build_seconds) {
+      build_seconds = seconds;
+    }
+  }
+
+  // UpdateBenefit over every pooled update: once with one reused scratch
+  // delta (the ranking inner loop), once constructing a delta per update
+  // (the pre-scratch contract), verifying bit-identical benefits.
+  std::vector<Update> flat;
+  flat.reserve(updates);
+  for (const UpdateGroup& group : groups) {
+    flat.insert(flat.end(), group.updates.begin(), group.updates.end());
+  }
+  std::vector<double> reuse_benefits(flat.size(), 0.0);
+  double reuse_seconds = -1.0;
+  for (int r = 0; r < repeats; ++r) {
+    ViolationDelta scratch(&engine.index());
+    Stopwatch watch;
+    for (std::size_t i = 0; i < flat.size(); ++i) {
+      reuse_benefits[i] = serial.UpdateBenefit(flat[i], &scratch);
+    }
+    const double seconds = watch.ElapsedSeconds();
+    if (reuse_seconds < 0.0 || seconds < reuse_seconds) {
+      reuse_seconds = seconds;
+    }
+  }
+  std::vector<double> construct_benefits(flat.size(), 0.0);
+  double construct_seconds = -1.0;
+  for (int r = 0; r < repeats; ++r) {
+    Stopwatch watch;
+    for (std::size_t i = 0; i < flat.size(); ++i) {
+      construct_benefits[i] = serial.UpdateBenefit(flat[i]);
+    }
+    const double seconds = watch.ElapsedSeconds();
+    if (construct_seconds < 0.0 || seconds < construct_seconds) {
+      construct_seconds = seconds;
+    }
+  }
+  const bool benefits_match = reuse_benefits == construct_benefits;
+  const double ns_per_update_reuse =
+      flat.empty() ? 0.0 : reuse_seconds / flat.size() * 1e9;
+  const double ns_per_update_construct =
+      flat.empty() ? 0.0 : construct_seconds / flat.size() * 1e9;
+  std::printf(
+      "hotpath: build=%.4fs benefit-reuse=%.0fns benefit-construct=%.0fns "
+      "serial-rank=%.4fs benefits-match=%s\n",
+      build_seconds, ns_per_update_reuse, ns_per_update_construct,
+      serial_seconds, benefits_match ? "yes" : "NO");
 
   std::vector<Measurement> results;
   results.push_back({1, serial_seconds, 1.0, true});
@@ -159,7 +229,37 @@ int RunBench(int argc, char** argv) {
   } else {
     std::printf("could not write %s\n", out_path.c_str());
   }
-  return all_match ? 0 : 2;
+
+  const std::string hotpath_path =
+      flags.GetString("hotpath-out", "BENCH_hotpath.json");
+  if (FILE* out = std::fopen(hotpath_path.c_str(), "w")) {
+    std::fprintf(
+        out,
+        "{\n"
+        "  \"bench\": \"hotpath\",\n"
+        "  \"dataset\": \"%s\",\n"
+        "  \"workload\": \"%s\",\n"
+        "  \"records\": %zu,\n"
+        "  \"groups\": %zu,\n"
+        "  \"updates\": %zu,\n"
+        "  \"repeats\": %d,\n"
+        "  \"hardware_concurrency\": %u,\n"
+        "  \"index_build_seconds\": %.6f,\n"
+        "  \"update_benefit_ns_scratch_reuse\": %.1f,\n"
+        "  \"update_benefit_ns_fresh_delta\": %.1f,\n"
+        "  \"serial_rank_seconds\": %.6f,\n"
+        "  \"scores_match\": %s\n"
+        "}\n",
+        dataset.name.c_str(), specs.front().c_str(), resolved_rows,
+        groups.size(), updates, repeats, std::thread::hardware_concurrency(),
+        build_seconds, ns_per_update_reuse, ns_per_update_construct,
+        serial_seconds, benefits_match && all_match ? "true" : "false");
+    std::fclose(out);
+    std::printf("wrote %s\n", hotpath_path.c_str());
+  } else {
+    std::printf("could not write %s\n", hotpath_path.c_str());
+  }
+  return all_match && benefits_match ? 0 : 2;
 }
 
 }  // namespace

@@ -88,6 +88,124 @@ void BM_HypotheticalViolatedRuleCount(benchmark::State& state) {
 }
 BENCHMARK(BM_HypotheticalViolatedRuleCount);
 
+// First variable rule of the workload's rule set (the flattened group
+// paths only exist for variable rules); kInvalidRuleId when none.
+RuleId FirstVariableRule(const RuleSet& rules) {
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    if (rules.rule(static_cast<RuleId>(i)).IsVariable()) {
+      return static_cast<RuleId>(i);
+    }
+  }
+  return kInvalidRuleId;
+}
+
+void BM_GroupMembers(benchmark::State& state) {
+  const Dataset& dataset = SharedDataset();
+  Table table = dataset.dirty;
+  ViolationIndex index(&table, &dataset.rules);
+  const RuleId rule = FirstVariableRule(dataset.rules);
+  if (rule == kInvalidRuleId) {
+    state.SkipWithError("workload has no variable rule");
+    return;
+  }
+  Rng rng(17);
+  for (auto _ : state) {
+    const RowId row = static_cast<RowId>(rng.NextBounded(table.num_rows()));
+    benchmark::DoNotOptimize(index.GroupMembers(row, rule));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GroupMembers);
+
+void BM_ViolationPartners(benchmark::State& state) {
+  const Dataset& dataset = SharedDataset();
+  Table table = dataset.dirty;
+  ViolationIndex index(&table, &dataset.rules);
+  const RuleId rule = FirstVariableRule(dataset.rules);
+  if (rule == kInvalidRuleId) {
+    state.SkipWithError("workload has no variable rule");
+    return;
+  }
+  const std::vector<RowId> dirty = index.DirtyRows();
+  if (dirty.empty()) {
+    state.SkipWithError("workload has no dirty rows");
+    return;
+  }
+  std::size_t cursor = 0;
+  for (auto _ : state) {
+    const RowId row = dirty[cursor++ % dirty.size()];
+    benchmark::DoNotOptimize(index.ViolationPartners(row, rule));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ViolationPartners);
+
+void BM_GroupRhsValueCount(benchmark::State& state) {
+  const Dataset& dataset = SharedDataset();
+  Table table = dataset.dirty;
+  ViolationIndex index(&table, &dataset.rules);
+  const RuleId rule = FirstVariableRule(dataset.rules);
+  if (rule == kInvalidRuleId) {
+    state.SkipWithError("workload has no variable rule");
+    return;
+  }
+  const AttrId rhs = dataset.rules.rule(rule).rhs().attr;
+  Rng rng(19);
+  for (auto _ : state) {
+    const RowId row = static_cast<RowId>(rng.NextBounded(table.num_rows()));
+    const ValueId value =
+        static_cast<ValueId>(rng.NextBounded(table.DomainSize(rhs)));
+    benchmark::DoNotOptimize(index.GroupRhsValueCount(row, rule, value));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GroupRhsValueCount);
+
+// The scratch-delta contract, measured head-to-head: staging one
+// hypothetical write and reading a rule aggregate, constructing a fresh
+// ViolationDelta per evaluation (BM_DeltaConstruct) vs reusing one delta
+// and Discard()ing between evaluations (BM_DeltaReuse — the VOI ranking
+// inner loop). The gap is the per-hypothetical allocation cost the reuse
+// contract removes.
+void BM_DeltaConstruct(benchmark::State& state) {
+  const Dataset& dataset = SharedDataset();
+  Table table = dataset.dirty;
+  ViolationIndex index(&table, &dataset.rules);
+  AttrId zip = table.schema().FindAttr("Zip");
+  if (zip == kInvalidAttrId) zip = 0;
+  Rng rng(23);
+  for (auto _ : state) {
+    const RowId row = static_cast<RowId>(rng.NextBounded(table.num_rows()));
+    const ValueId value =
+        static_cast<ValueId>(rng.NextBounded(table.DomainSize(zip)));
+    ViolationDelta delta(&index);
+    delta.SetCell(row, zip, value);
+    benchmark::DoNotOptimize(delta.TotalViolations());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DeltaConstruct);
+
+void BM_DeltaReuse(benchmark::State& state) {
+  const Dataset& dataset = SharedDataset();
+  Table table = dataset.dirty;
+  ViolationIndex index(&table, &dataset.rules);
+  AttrId zip = table.schema().FindAttr("Zip");
+  if (zip == kInvalidAttrId) zip = 0;
+  Rng rng(23);
+  ViolationDelta delta(&index);
+  for (auto _ : state) {
+    const RowId row = static_cast<RowId>(rng.NextBounded(table.num_rows()));
+    const ValueId value =
+        static_cast<ValueId>(rng.NextBounded(table.DomainSize(zip)));
+    delta.SetCell(row, zip, value);
+    benchmark::DoNotOptimize(delta.TotalViolations());
+    delta.Discard();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DeltaReuse);
+
 void BM_UpdateGeneration(benchmark::State& state) {
   const Dataset& dataset = SharedDataset();
   Table table = dataset.dirty;
@@ -127,10 +245,12 @@ void BM_VoiUpdateBenefit(benchmark::State& state) {
     }
     if (updates.size() >= 512) break;
   }
+  // Scratch-reusing evaluation — the ranking inner loop's actual shape.
+  ViolationDelta scratch(&index);
   std::size_t cursor = 0;
   for (auto _ : state) {
     benchmark::DoNotOptimize(
-        ranker.UpdateBenefit(updates[cursor++ % updates.size()]));
+        ranker.UpdateBenefit(updates[cursor++ % updates.size()], &scratch));
   }
   state.SetItemsProcessed(state.iterations());
 }

@@ -27,12 +27,16 @@ ViolationIndex::ViolationIndex(Table* table, const RuleSet* rules)
     if (rs.is_constant) {
       rs.rhs_const = table_->InternValue(rs.rhs_attr, *rule.rhs().constant);
       rs.row_violates.assign(table_->num_rows(), 0);
+    } else {
+      rs.row_group.assign(table_->num_rows(), kNoGroup);
     }
+    rs.attr_in_lhs.assign(table_->num_attrs(), 0);
     for (const PatternCell& cell : rule.lhs()) {
       rs.lhs_attrs.push_back(cell.attr);
       rs.lhs_consts.push_back(
           cell.is_constant() ? table_->InternValue(cell.attr, *cell.constant)
                              : kInvalidValueId);
+      rs.attr_in_lhs[static_cast<std::size_t>(cell.attr)] = 1;
     }
   }
   for (std::size_t r = 0; r < table_->num_rows(); ++r) {
@@ -52,13 +56,34 @@ bool ViolationIndex::MatchesContext(const RuleStats& rs, RowId row) const {
   return true;
 }
 
-ViolationIndex::GroupKey ViolationIndex::KeyFor(const RuleStats& rs,
-                                                RowId row) const {
-  GroupKey key(rs.lhs_attrs.size());
+void ViolationIndex::BuildKey(const RuleStats& rs, RowId row,
+                              GroupKey* key) const {
+  key->resize(rs.lhs_attrs.size());
   for (std::size_t i = 0; i < rs.lhs_attrs.size(); ++i) {
-    key[i] = table_->id_at(row, rs.lhs_attrs[i]);
+    (*key)[i] = table_->id_at(row, rs.lhs_attrs[i]);
   }
-  return key;
+}
+
+GroupId ViolationIndex::InternGroup(RuleStats& rs, RowId row) {
+  BuildKey(rs, row, &key_scratch_);
+  auto it = rs.key_to_group.find(key_scratch_);
+  if (it != rs.key_to_group.end()) return it->second;
+
+  GroupId gid;
+  if (!rs.free_groups.empty()) {
+    gid = rs.free_groups.back();
+    rs.free_groups.pop_back();
+    Group& g = rs.groups[static_cast<std::size_t>(gid)];
+    g.Reset();
+    g.key.assign(key_scratch_.begin(), key_scratch_.end());
+  } else {
+    gid = static_cast<GroupId>(rs.groups.size());
+    rs.groups.emplace_back();
+    rs.groups.back().key = key_scratch_;
+    rs.members.emplace_back();
+  }
+  rs.key_to_group.emplace(rs.groups[static_cast<std::size_t>(gid)].key, gid);
+  return gid;
 }
 
 void ViolationIndex::AddRow(RuleStats& rs, RowId row) {
@@ -78,30 +103,30 @@ void ViolationIndex::AddRow(RuleStats& rs, RowId row) {
     return;
   }
 
-  GroupKey key = KeyFor(rs, row);
-  Group& g = rs.groups[key];
+  const GroupId gid = InternGroup(rs, row);
+  Group& g = rs.groups[static_cast<std::size_t>(gid)];
   // Retire the group's old contribution to the rule aggregates, mutate,
   // then account the new contribution.
   rs.violations -= g.PairViolations();
   rs.violating_tuples -= g.ViolatingTuples();
-
-  const ValueId a = table_->id_at(row, rs.rhs_attr);
-  std::int64_t& count = g.counts[a];
-  g.sum_sq += 2 * count + 1;
-  ++count;
-  ++g.total;
-
+  g.Increment(table_->id_at(row, rs.rhs_attr));
   rs.violations += g.PairViolations();
   rs.violating_tuples += g.ViolatingTuples();
-  rs.members[key].push_back(row);
+
+  rs.members[static_cast<std::size_t>(gid)].push_back(row);
+  if (static_cast<std::size_t>(row) >= rs.row_group.size()) {
+    rs.row_group.resize(table_->num_rows(), kNoGroup);
+  }
+  rs.row_group[static_cast<std::size_t>(row)] = gid;
 }
 
 void ViolationIndex::RemoveRow(RuleStats& rs, RowId row) {
-  if (!MatchesContext(rs, row)) return;
-  --rs.context_count;
-
   if (rs.is_constant) {
-    if (rs.row_violates[static_cast<std::size_t>(row)]) {
+    if (!MatchesContext(rs, row)) return;
+    --rs.context_count;
+    // ViolatesFlag is bounds-guarded (appended-but-unindexed rows read as
+    // non-violating), and a set flag implies the slot exists.
+    if (rs.ViolatesFlag(row)) {
       --rs.violations;
       --rs.violating_tuples;
       rs.row_violates[static_cast<std::size_t>(row)] = 0;
@@ -109,37 +134,37 @@ void ViolationIndex::RemoveRow(RuleStats& rs, RowId row) {
     return;
   }
 
-  GroupKey key = KeyFor(rs, row);
-  auto git = rs.groups.find(key);
-  assert(git != rs.groups.end());
-  Group& g = git->second;
+  // For variable rules, row_group doubles as the context test: every
+  // in-context row is a member of exactly one group.
+  const GroupId gid = rs.GroupIdOf(row);
+  if (gid == kNoGroup) return;
+  --rs.context_count;
 
+  Group& g = rs.groups[static_cast<std::size_t>(gid)];
   rs.violations -= g.PairViolations();
   rs.violating_tuples -= g.ViolatingTuples();
-
-  const ValueId a = table_->id_at(row, rs.rhs_attr);
-  auto cit = g.counts.find(a);
-  assert(cit != g.counts.end() && cit->second > 0);
-  g.sum_sq -= 2 * cit->second - 1;
-  --cit->second;
-  if (cit->second == 0) g.counts.erase(cit);
-  --g.total;
-
+  g.Decrement(table_->id_at(row, rs.rhs_attr));
   rs.violations += g.PairViolations();
   rs.violating_tuples += g.ViolatingTuples();
 
-  auto mit = rs.members.find(key);
-  assert(mit != rs.members.end());
-  std::vector<RowId>& rows = mit->second;
+  rs.row_group[static_cast<std::size_t>(row)] = kNoGroup;
+  std::vector<RowId>& rows = rs.members[static_cast<std::size_t>(gid)];
   auto rit = std::find(rows.begin(), rows.end(), row);
   assert(rit != rows.end());
   *rit = rows.back();
   rows.pop_back();
 
-  if (g.total == 0) {
-    rs.groups.erase(git);
-    rs.members.erase(mit);
-  }
+  if (g.total == 0) RetireGroupIfEmpty(rs, gid);
+}
+
+void ViolationIndex::RetireGroupIfEmpty(RuleStats& rs, GroupId gid) {
+  Group& g = rs.groups[static_cast<std::size_t>(gid)];
+  if (g.total != 0) return;
+  rs.key_to_group.erase(g.key);
+  g.key.clear();     // clear(), not shrink: the slot keeps its capacity
+  g.counts.clear();  // for reuse through the free list
+  rs.members[static_cast<std::size_t>(gid)].clear();
+  rs.free_groups.push_back(gid);
 }
 
 ValueId ViolationIndex::ApplyCellChange(RowId row, AttrId attr,
@@ -165,16 +190,15 @@ ValueId ViolationIndex::ApplyCellChange(RowId row, AttrId attr,
 
 std::int64_t ViolationIndex::TupleViolation(RowId row, RuleId rule) const {
   const RuleStats& rs = stats_[static_cast<std::size_t>(rule)];
-  if (!MatchesContext(rs, row)) return 0;
   if (rs.is_constant) {
-    return rs.row_violates[static_cast<std::size_t>(row)] ? 1 : 0;
+    // The flag is 1 only for in-context violating rows, so no separate
+    // context test is needed.
+    return rs.ViolatesFlag(row) ? 1 : 0;
   }
-  auto git = rs.groups.find(KeyFor(rs, row));
-  if (git == rs.groups.end()) return 0;
-  const Group& g = git->second;
-  auto cit = g.counts.find(table_->id_at(row, rs.rhs_attr));
-  const std::int64_t same = cit == g.counts.end() ? 0 : cit->second;
-  return g.total - same;
+  const GroupId gid = rs.GroupIdOf(row);
+  if (gid == kNoGroup) return 0;
+  const Group& g = rs.groups[static_cast<std::size_t>(gid)];
+  return g.total - g.CountOf(table_->id_at(row, rs.rhs_attr));
 }
 
 bool ViolationIndex::IsDirty(RowId row) const {
@@ -213,6 +237,7 @@ std::int64_t ViolationIndex::ViolatedRuleCount(RowId row) const {
 std::int64_t ViolationIndex::HypotheticalViolatedRuleCount(
     RowId row, AttrId attr, ValueId value) const {
   std::int64_t count = 0;
+  GroupKey hyp_key;  // materialized only when a rule's LHS key moves
   for (std::size_t i = 0; i < stats_.size(); ++i) {
     const RuleStats& rs = stats_[i];
 
@@ -238,32 +263,35 @@ std::int64_t ViolationIndex::HypotheticalViolatedRuleCount(
     }
 
     // Variable rule: conflicts against the hypothetical LHS group,
-    // excluding this row's own current contribution.
-    GroupKey key(rs.lhs_attrs.size());
-    for (std::size_t k = 0; k < rs.lhs_attrs.size(); ++k) {
-      key[k] = hyp_at(rs.lhs_attrs[k]);
-    }
-    auto git = rs.groups.find(key);
-    if (git == rs.groups.end()) continue;  // fresh group: no partners
-    const Group& g = git->second;
+    // excluding this row's own current contribution. The key differs from
+    // the row's current key only when attr sits in X and the value moved.
+    const bool key_changed =
+        table_->id_at(row, attr) != value &&
+        rs.attr_in_lhs[static_cast<std::size_t>(attr)] != 0;
 
-    // Is the row currently a member of this (hypothetical) group? It is
-    // iff its current LHS values equal the hypothetical key and it matches
-    // the context now — equivalently, changing `attr` kept the key, which
-    // happens when attr is not in X or value == old_value.
-    bool currently_member = MatchesContext(rs, row);
-    if (currently_member) {
+    const Group* g = nullptr;
+    bool currently_member = false;
+    if (!key_changed) {
+      // Hypothetical key == current key: the dense row → GroupId mapping
+      // answers directly, and membership is implied.
+      const GroupId gid = rs.GroupIdOf(row);
+      if (gid == kNoGroup) continue;  // fresh group: no partners
+      g = &rs.groups[static_cast<std::size_t>(gid)];
+      currently_member = true;
+    } else {
+      hyp_key.resize(rs.lhs_attrs.size());
       for (std::size_t k = 0; k < rs.lhs_attrs.size(); ++k) {
-        if (table_->id_at(row, rs.lhs_attrs[k]) != key[k]) {
-          currently_member = false;
-          break;
-        }
+        hyp_key[k] = hyp_at(rs.lhs_attrs[k]);
       }
+      auto git = rs.key_to_group.find(hyp_key);
+      if (git == rs.key_to_group.end()) continue;  // fresh group
+      g = &rs.groups[static_cast<std::size_t>(git->second)];
+      // The key moved, so the row cannot be a member of the target group.
     }
+
     const ValueId rhs_hyp = hyp_at(rs.rhs_attr);
-    std::int64_t others = g.total;
-    auto cit = g.counts.find(rhs_hyp);
-    std::int64_t others_same = cit == g.counts.end() ? 0 : cit->second;
+    std::int64_t others = g->total;
+    std::int64_t others_same = g->CountOf(rhs_hyp);
     if (currently_member) {
       --others;
       if (table_->id_at(row, rs.rhs_attr) == rhs_hyp) --others_same;
@@ -275,19 +303,19 @@ std::int64_t ViolationIndex::HypotheticalViolatedRuleCount(
 
 std::int64_t ViolationIndex::GroupTotal(RowId row, RuleId rule) const {
   const RuleStats& rs = stats_[static_cast<std::size_t>(rule)];
-  if (rs.is_constant || !MatchesContext(rs, row)) return 0;
-  auto git = rs.groups.find(KeyFor(rs, row));
-  return git == rs.groups.end() ? 0 : git->second.total;
+  if (rs.is_constant) return 0;
+  const GroupId gid = rs.GroupIdOf(row);
+  return gid == kNoGroup ? 0
+                         : rs.groups[static_cast<std::size_t>(gid)].total;
 }
 
 std::int64_t ViolationIndex::GroupRhsValueCount(RowId row, RuleId rule,
                                                 ValueId value) const {
   const RuleStats& rs = stats_[static_cast<std::size_t>(rule)];
-  if (rs.is_constant || !MatchesContext(rs, row)) return 0;
-  auto git = rs.groups.find(KeyFor(rs, row));
-  if (git == rs.groups.end()) return 0;
-  auto cit = git->second.counts.find(value);
-  return cit == git->second.counts.end() ? 0 : cit->second;
+  if (rs.is_constant) return 0;
+  const GroupId gid = rs.GroupIdOf(row);
+  if (gid == kNoGroup) return 0;
+  return rs.groups[static_cast<std::size_t>(gid)].CountOf(value);
 }
 
 std::int64_t ViolationIndex::TotalViolations() const {
@@ -296,19 +324,24 @@ std::int64_t ViolationIndex::TotalViolations() const {
   return total;
 }
 
-std::vector<RowId> ViolationIndex::ViolationPartners(RowId row,
-                                                     RuleId rule) const {
+void ViolationIndex::AppendViolationPartners(RowId row, RuleId rule,
+                                             std::vector<RowId>* out) const {
   const RuleStats& rs = stats_[static_cast<std::size_t>(rule)];
-  std::vector<RowId> out;
-  if (rs.is_constant || !MatchesContext(rs, row)) return out;
-  auto mit = rs.members.find(KeyFor(rs, row));
-  if (mit == rs.members.end()) return out;
+  if (rs.is_constant) return;
+  const GroupId gid = rs.GroupIdOf(row);
+  if (gid == kNoGroup) return;
   const ValueId a = table_->id_at(row, rs.rhs_attr);
-  for (RowId other : mit->second) {
+  for (RowId other : rs.members[static_cast<std::size_t>(gid)]) {
     if (other != row && table_->id_at(other, rs.rhs_attr) != a) {
-      out.push_back(other);
+      out->push_back(other);
     }
   }
+}
+
+std::vector<RowId> ViolationIndex::ViolationPartners(RowId row,
+                                                     RuleId rule) const {
+  std::vector<RowId> out;
+  AppendViolationPartners(row, rule, &out);
   std::sort(out.begin(), out.end());
   return out;
 }
@@ -316,10 +349,10 @@ std::vector<RowId> ViolationIndex::ViolationPartners(RowId row,
 std::vector<RowId> ViolationIndex::GroupMembers(RowId row, RuleId rule) const {
   const RuleStats& rs = stats_[static_cast<std::size_t>(rule)];
   std::vector<RowId> out;
-  if (rs.is_constant || !MatchesContext(rs, row)) return out;
-  auto mit = rs.members.find(KeyFor(rs, row));
-  if (mit == rs.members.end()) return out;
-  out = mit->second;
+  if (rs.is_constant) return out;
+  const GroupId gid = rs.GroupIdOf(row);
+  if (gid == kNoGroup) return out;
+  out = rs.members[static_cast<std::size_t>(gid)];
   std::sort(out.begin(), out.end());
   return out;
 }
@@ -328,22 +361,49 @@ std::vector<RowId> ViolationIndex::GroupMembers(RowId row, RuleId rule) const {
 // ViolationDelta
 // ---------------------------------------------------------------------------
 
-ViolationDelta::ViolationDelta(const ViolationIndex* base)
-    : base_(base), base_version_(base->version()) {}
+namespace {
 
-ValueId ViolationDelta::ValueAt(RowId row, AttrId attr) const {
-  auto it = writes_.find(PackCell(row, attr));
-  return it != writes_.end() ? it->second : base_->table().id_at(row, attr);
+// The delta's override state lives in flat (key, value) vectors that are
+// tiny at the one-or-two staged writes of a hypothetical; these two
+// helpers are the only lookup/update idiom used on them.
+template <typename K, typename V>
+const V* FindFlat(const std::vector<std::pair<K, V>>& entries, K key) {
+  for (const auto& [k, v] : entries) {
+    if (k == key) return &v;
+  }
+  return nullptr;
 }
 
-const ViolationDelta::RuleDelta* ViolationDelta::FindDelta(
-    RuleId rule) const {
-  auto it = rules_.find(rule);
-  return it == rules_.end() ? nullptr : &it->second;
+template <typename K, typename V>
+void SetFlat(std::vector<std::pair<K, V>>& entries, K key, V value) {
+  for (auto& [k, v] : entries) {
+    if (k == key) {
+      v = value;
+      return;
+    }
+  }
+  entries.emplace_back(key, value);
+}
+
+}  // namespace
+
+ViolationDelta::ViolationDelta(const ViolationIndex* base)
+    : base_(base), base_version_(base->version()) {
+  rules_.resize(base_->stats_.size());
+}
+
+ValueId ViolationDelta::ValueAt(RowId row, AttrId attr) const {
+  const ValueId* pending = FindFlat(writes_, PackCell(row, attr));
+  return pending != nullptr ? *pending : base_->table().id_at(row, attr);
 }
 
 ViolationDelta::RuleDelta& ViolationDelta::EnsureDelta(RuleId rule) {
-  return rules_[rule];
+  RuleDelta& rd = rules_[static_cast<std::size_t>(rule)];
+  if (!rd.touched) {
+    rd.touched = true;
+    touched_.push_back(rule);
+  }
+  return rd;
 }
 
 bool ViolationDelta::MatchesContext(const RuleStats& rs, RowId row) const {
@@ -356,86 +416,130 @@ bool ViolationDelta::MatchesContext(const RuleStats& rs, RowId row) const {
   return true;
 }
 
-ViolationDelta::GroupKey ViolationDelta::KeyFor(const RuleStats& rs,
-                                                RowId row) const {
-  GroupKey key(rs.lhs_attrs.size());
-  for (std::size_t i = 0; i < rs.lhs_attrs.size(); ++i) {
-    key[i] = ValueAt(row, rs.lhs_attrs[i]);
-  }
-  return key;
-}
-
-bool ViolationDelta::RowViolates(const RuleStats& rs, const RuleDelta* rd,
+bool ViolationDelta::RowViolates(const RuleStats& rs, const RuleDelta& rd,
                                  RowId row) const {
-  if (rd != nullptr) {
-    auto it = rd->row_violates.find(row);
-    if (it != rd->row_violates.end()) return it->second != 0;
-  }
-  return rs.row_violates[static_cast<std::size_t>(row)] != 0;
+  const std::uint8_t* over = FindFlat(rd.row_violates, row);
+  return over != nullptr ? *over != 0 : rs.ViolatesFlag(row);
 }
 
-const ViolationDelta::Group* ViolationDelta::FindGroup(
-    const RuleStats& rs, const RuleDelta* rd, const GroupKey& key) const {
-  if (rd != nullptr) {
-    auto it = rd->groups.find(key);
-    if (it != rd->groups.end()) return &it->second;
-  }
-  auto it = rs.groups.find(key);
-  return it == rs.groups.end() ? nullptr : &it->second;
+void ViolationDelta::SetRowViolates(RuleDelta& rd, RowId row,
+                                    std::uint8_t flag) {
+  SetFlat(rd.row_violates, row, flag);
 }
 
-ViolationDelta::Group& ViolationDelta::EnsureGroup(const RuleStats& rs,
-                                                   RuleDelta& rd,
-                                                   const GroupKey& key) {
-  auto [it, inserted] = rd.groups.try_emplace(key);
-  if (inserted) {
-    auto bit = rs.groups.find(key);
-    if (bit != rs.groups.end()) it->second = bit->second;  // copy-on-write
-  }
-  return it->second;
+std::uint64_t ViolationDelta::ResolveRowGroup(const RuleStats& rs,
+                                              const RuleDelta& rd,
+                                              RowId row) const {
+  const std::uint64_t* over = FindFlat(rd.row_group, row);
+  if (over != nullptr) return *over;
+  const GroupId gid = rs.GroupIdOf(row);
+  return gid == kNoGroup ? kDeltaNoGroup : static_cast<std::uint64_t>(gid);
 }
 
-void ViolationDelta::RemoveRow(RuleId rule, RowId row) {
+void ViolationDelta::SetRowGroup(RuleDelta& rd, RowId row, std::uint64_t id) {
+  SetFlat(rd.row_group, row, id);
+}
+
+std::uint64_t ViolationDelta::ResolveKeyGroup(const RuleStats& rs,
+                                              RuleDelta& rd, RowId row) {
+  key_scratch_.resize(rs.lhs_attrs.size());
+  for (std::size_t i = 0; i < rs.lhs_attrs.size(); ++i) {
+    key_scratch_[i] = ValueAt(row, rs.lhs_attrs[i]);
+  }
+  auto it = rs.key_to_group.find(key_scratch_);
+  if (it != rs.key_to_group.end()) {
+    return static_cast<std::uint64_t>(it->second);
+  }
+  // A key the base has never interned: give it a delta-local novel id.
+  for (std::size_t i = 0; i < rd.novel_live; ++i) {
+    if (rd.novel_keys[i] == key_scratch_) return kNovelBit | i;
+  }
+  if (rd.novel_live < rd.novel_keys.size()) {
+    rd.novel_keys[rd.novel_live].assign(key_scratch_.begin(),
+                                        key_scratch_.end());
+  } else {
+    rd.novel_keys.push_back(key_scratch_);
+  }
+  return kNovelBit | rd.novel_live++;
+}
+
+const ViolationDelta::GroupCounts* ViolationDelta::FindGroup(
+    const RuleStats& rs, const RuleDelta& rd, std::uint64_t id) const {
+  for (std::size_t i = 0; i < rd.groups_live; ++i) {
+    if (rd.groups[i].id == id) return &rd.groups[i].counts;
+  }
+  if ((id & kNovelBit) == 0) {
+    return &rs.groups[static_cast<std::size_t>(id)];
+  }
+  return nullptr;  // novel groups always have a slot once referenced
+}
+
+ViolationDelta::GroupCounts& ViolationDelta::EnsureGroup(const RuleStats& rs,
+                                                         RuleDelta& rd,
+                                                         std::uint64_t id) {
+  for (std::size_t i = 0; i < rd.groups_live; ++i) {
+    if (rd.groups[i].id == id) return rd.groups[i].counts;
+  }
+  if (rd.groups_live == rd.groups.size()) rd.groups.emplace_back();
+  GroupSlot& slot = rd.groups[rd.groups_live++];
+  slot.id = id;
+  if ((id & kNovelBit) == 0) {
+    // Copy-on-write from the base's dense storage; assign() into the
+    // recycled slot reuses its counts capacity.
+    slot.counts.CopyFrom(rs.groups[static_cast<std::size_t>(id)]);
+  } else {
+    slot.counts.Reset();
+  }
+  return slot.counts;
+}
+
+void ViolationDelta::RemoveRow(RuleId rule, RowId row,
+                               std::uint64_t* prev_group) {
+  *prev_group = kDeltaNoGroup;
   const RuleStats& rs = base_->stats_[static_cast<std::size_t>(rule)];
-  if (!MatchesContext(rs, row)) return;
   RuleDelta& rd = EnsureDelta(rule);
-  --rd.context_count;
 
   if (rs.is_constant) {
-    if (RowViolates(rs, &rd, row)) {
+    if (!MatchesContext(rs, row)) return;
+    *prev_group = 1;  // context signal for AddRow's key_unchanged path
+    --rd.context_count;
+    if (RowViolates(rs, rd, row)) {
       --rd.violations;
       --rd.violating_tuples;
     }
-    rd.row_violates[row] = 0;
+    SetRowViolates(rd, row, 0);
     return;
   }
 
-  GroupKey key = KeyFor(rs, row);
-  Group& g = EnsureGroup(rs, rd, key);
+  const std::uint64_t id = ResolveRowGroup(rs, rd, row);
+  if (id == kDeltaNoGroup) return;  // out of context under the overlay
+  --rd.context_count;
+
+  GroupCounts& g = EnsureGroup(rs, rd, id);
   rd.violations -= g.PairViolations();
   rd.violating_tuples -= g.ViolatingTuples();
-
-  const ValueId a = ValueAt(row, rs.rhs_attr);
-  auto cit = g.counts.find(a);
-  assert(cit != g.counts.end() && cit->second > 0);
-  g.sum_sq -= 2 * cit->second - 1;
-  --cit->second;
-  if (cit->second == 0) g.counts.erase(cit);
-  --g.total;
-
+  g.Decrement(ValueAt(row, rs.rhs_attr));
   rd.violations += g.PairViolations();
   rd.violating_tuples += g.ViolatingTuples();
+
+  SetRowGroup(rd, row, kDeltaNoGroup);
+  *prev_group = id;
 }
 
-void ViolationDelta::AddRow(RuleId rule, RowId row) {
+void ViolationDelta::AddRow(RuleId rule, RowId row, std::uint64_t prev_group,
+                            bool key_unchanged) {
   const RuleStats& rs = base_->stats_[static_cast<std::size_t>(rule)];
-  if (!MatchesContext(rs, row)) return;
   RuleDelta& rd = EnsureDelta(rule);
-  ++rd.context_count;
 
   if (rs.is_constant) {
+    // key_unchanged ⇒ the written attr is outside X, so the context is
+    // whatever RemoveRow just observed (signalled through prev_group).
+    const bool in_context = key_unchanged ? prev_group != kDeltaNoGroup
+                                          : MatchesContext(rs, row);
+    if (!in_context) return;
+    ++rd.context_count;
     const bool violates = ValueAt(row, rs.rhs_attr) != rs.rhs_const;
-    rd.row_violates[row] = violates ? 1 : 0;
+    SetRowViolates(rd, row, violates ? 1 : 0);
     if (violates) {
       ++rd.violations;
       ++rd.violating_tuples;
@@ -443,19 +547,31 @@ void ViolationDelta::AddRow(RuleId rule, RowId row) {
     return;
   }
 
-  GroupKey key = KeyFor(rs, row);
-  Group& g = EnsureGroup(rs, rd, key);
+  std::uint64_t id;
+  if (key_unchanged) {
+    // The written attribute is outside X, so neither the context nor the
+    // LHS key moved: the row re-enters the group RemoveRow took it from.
+    if (prev_group == kDeltaNoGroup) return;  // was and stays out of context
+    id = prev_group;
+  } else {
+    if (!MatchesContext(rs, row)) {
+      // Record the departure explicitly so queries do not fall back to
+      // the base's (possibly in-context) group mapping.
+      SetRowGroup(rd, row, kDeltaNoGroup);
+      return;
+    }
+    id = ResolveKeyGroup(rs, rd, row);
+  }
+  ++rd.context_count;
+
+  GroupCounts& g = EnsureGroup(rs, rd, id);
   rd.violations -= g.PairViolations();
   rd.violating_tuples -= g.ViolatingTuples();
-
-  const ValueId a = ValueAt(row, rs.rhs_attr);
-  std::int64_t& count = g.counts[a];
-  g.sum_sq += 2 * count + 1;
-  ++count;
-  ++g.total;
-
+  g.Increment(ValueAt(row, rs.rhs_attr));
   rd.violations += g.PairViolations();
   rd.violating_tuples += g.ViolatingTuples();
+
+  SetRowGroup(rd, row, id);
 }
 
 ValueId ViolationDelta::SetCell(RowId row, AttrId attr, ValueId value) {
@@ -463,19 +579,43 @@ ValueId ViolationDelta::SetCell(RowId row, AttrId attr, ValueId value) {
   if (old == value) return old;
   const std::vector<RuleId>& affected = base_->rules().RulesMentioning(attr);
   // Same discipline as the base: retire the row's contribution under its
-  // old values, land the write, re-add under the new values.
-  for (RuleId id : affected) RemoveRow(id, row);
-  if (value == base_->table().id_at(row, attr)) {
-    writes_.erase(PackCell(row, attr));
-  } else {
-    writes_[PackCell(row, attr)] = value;
+  // old values, land the write, re-add under the new values. RemoveRow
+  // reports each rule's group so AddRow can skip re-resolving it when the
+  // written attribute cannot change that rule's LHS key.
+  group_hints_.resize(affected.size());
+  for (std::size_t i = 0; i < affected.size(); ++i) {
+    RemoveRow(affected[i], row, &group_hints_[i]);
   }
-  for (RuleId id : affected) AddRow(id, row);
+
+  const std::uint64_t cell = PackCell(row, attr);
+  if (value == base_->table().id_at(row, attr)) {
+    // Writing the base value back cancels the pending write (swap-remove;
+    // per-cell entries are independent, so order is free).
+    for (std::size_t i = 0; i < writes_.size(); ++i) {
+      if (writes_[i].first == cell) {
+        writes_[i] = writes_.back();
+        writes_.pop_back();
+        break;
+      }
+    }
+  } else {
+    SetFlat(writes_, cell, value);
+  }
+
+  for (std::size_t i = 0; i < affected.size(); ++i) {
+    const RuleStats& rs = base_->stats_[static_cast<std::size_t>(affected[i])];
+    AddRow(affected[i], row, group_hints_[i],
+           /*key_unchanged=*/
+           rs.attr_in_lhs[static_cast<std::size_t>(attr)] == 0);
+  }
   return old;
 }
 
 void ViolationDelta::Merge(const ViolationDelta& other) {
   assert(other.base_ == base_);
+  // Reserve up front so replaying a large overlay does not reallocate the
+  // write list mid-merge (an upper bound: cancelling writes shrink it).
+  writes_.reserve(writes_.size() + other.writes_.size());
   for (const auto& [cell, value] : other.writes_) {
     SetCell(static_cast<RowId>(cell >> 32),
             static_cast<AttrId>(cell & 0xFFFFFFFFULL), value);
@@ -483,42 +623,42 @@ void ViolationDelta::Merge(const ViolationDelta& other) {
 }
 
 void ViolationDelta::Discard() {
+  // The reusable-scratch contract: reset to transparent, keep every
+  // allocation. clear() on the flat override vectors retains capacity;
+  // group and novel-key slots are retired by live-count so their inner
+  // vectors survive for the next staging round.
   writes_.clear();
-  rules_.clear();
-}
-
-std::int64_t ViolationDelta::RuleViolations(RuleId rule) const {
-  const RuleDelta* rd = FindDelta(rule);
-  return base_->RuleViolations(rule) + (rd != nullptr ? rd->violations : 0);
-}
-
-std::int64_t ViolationDelta::ViolatingCount(RuleId rule) const {
-  const RuleDelta* rd = FindDelta(rule);
-  return base_->ViolatingCount(rule) +
-         (rd != nullptr ? rd->violating_tuples : 0);
-}
-
-std::int64_t ViolationDelta::ContextCount(RuleId rule) const {
-  const RuleDelta* rd = FindDelta(rule);
-  return base_->ContextCount(rule) + (rd != nullptr ? rd->context_count : 0);
+  for (RuleId rule : touched_) {
+    RuleDelta& rd = rules_[static_cast<std::size_t>(rule)];
+    rd.violations = 0;
+    rd.violating_tuples = 0;
+    rd.context_count = 0;
+    rd.touched = false;
+    rd.row_violates.clear();
+    rd.row_group.clear();
+    rd.groups_live = 0;
+    rd.novel_live = 0;
+  }
+  touched_.clear();
 }
 
 std::int64_t ViolationDelta::TotalViolations() const {
   std::int64_t total = base_->TotalViolations();
-  for (const auto& [rule, rd] : rules_) total += rd.violations;
+  for (RuleId rule : touched_) {
+    total += rules_[static_cast<std::size_t>(rule)].violations;
+  }
   return total;
 }
 
 std::int64_t ViolationDelta::TupleViolation(RowId row, RuleId rule) const {
   const RuleStats& rs = base_->stats_[static_cast<std::size_t>(rule)];
-  if (!MatchesContext(rs, row)) return 0;
-  const RuleDelta* rd = FindDelta(rule);
+  const RuleDelta& rd = rules_[static_cast<std::size_t>(rule)];
   if (rs.is_constant) return RowViolates(rs, rd, row) ? 1 : 0;
-  const Group* g = FindGroup(rs, rd, KeyFor(rs, row));
+  const std::uint64_t id = ResolveRowGroup(rs, rd, row);
+  if (id == kDeltaNoGroup) return 0;
+  const GroupCounts* g = FindGroup(rs, rd, id);
   if (g == nullptr) return 0;
-  auto cit = g->counts.find(ValueAt(row, rs.rhs_attr));
-  const std::int64_t same = cit == g->counts.end() ? 0 : cit->second;
-  return g->total - same;
+  return g->total - g->CountOf(ValueAt(row, rs.rhs_attr));
 }
 
 bool ViolationDelta::IsDirty(RowId row) const {

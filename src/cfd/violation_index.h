@@ -1,8 +1,10 @@
 #ifndef GDR_CFD_VIOLATION_INDEX_H_
 #define GDR_CFD_VIOLATION_INDEX_H_
 
+#include <cassert>
 #include <cstdint>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "cfd/cfd.h"
@@ -10,6 +12,14 @@
 #include "util/result.h"
 
 namespace gdr {
+
+/// Dense index of an interned LHS group within one variable rule's group
+/// storage. Group ids are per-rule and recycled through a free list when a
+/// group empties, so they are only meaningful against the index's current
+/// state — never persist them across mutations.
+using GroupId = std::int32_t;
+
+inline constexpr GroupId kNoGroup = -1;
 
 /// Incrementally maintained violation statistics for a (Table, RuleSet)
 /// pair. This is the performance workhorse of the library: the consistency
@@ -28,6 +38,17 @@ namespace gdr {
 ///  * |D ⊨ φ|                  — number of tuples not violating φ,
 ///  * |D(φ)|                   — tuples in φ's context (t[X] ≍ tp[X]),
 ///    which supplies the default rule weight w_φ = |D(φ)|/|D| of Eq. 3.
+///
+/// Data layout (the hot-path flattening): each variable rule interns its
+/// live LHS groups into dense GroupIds. A row → GroupId flat vector makes
+/// "which group is t in" a single array read — no key materialization, no
+/// hashing — and doubles as the context test (kNoGroup ⇔ t[X] !≍ tp[X]).
+/// Group tallies live in a dense vector recycled through a free list, with
+/// per-RHS-value counts stored as a sorted (ValueId, count) small-vector
+/// (groups overwhelmingly hold 1–3 distinct RHS values). Membership lists
+/// are keyed by GroupId in a parallel vector. The key → GroupId hash map
+/// survives, but only the mutation path (AddRow) and hypothetical-key
+/// queries consult it.
 ///
 /// Mutations go through ApplyCellChange, which updates the table cell and
 /// all affected per-rule structures. Hypothetical databases D^rj are *not*
@@ -115,14 +136,21 @@ class ViolationIndex {
   }
 
   /// For a variable rule: rows t' that currently violate `rule` together
-  /// with `row` (t'[X] = t[X] ≍ tp[X], t'[A] ≠ t[A]). Empty for constant
-  /// rules or non-violating rows. Cost: O(group size) scan over the rows
-  /// sharing t's LHS key.
+  /// with `row` (t'[X] = t[X] ≍ tp[X], t'[A] ≠ t[A]), ascending. Empty for
+  /// constant rules or non-violating rows. Cost: O(group size) scan over
+  /// the group's membership list.
   std::vector<RowId> ViolationPartners(RowId row, RuleId rule) const;
 
+  /// Allocation-free variant: appends the partners to `out` in membership
+  /// order (unsorted — callers that need the sorted contract use
+  /// ViolationPartners). `out` is not cleared.
+  void AppendViolationPartners(RowId row, RuleId rule,
+                               std::vector<RowId>* out) const;
+
   /// Rows in the same variable-rule LHS group as `row` (including `row`
-  /// itself when it matches the context); empty for constant rules or rows
-  /// outside the context. Used by the update generator (scenario 2).
+  /// itself when it matches the context), ascending; empty for constant
+  /// rules or rows outside the context. Used by the update generator
+  /// (scenario 2).
   std::vector<RowId> GroupMembers(RowId row, RuleId rule) const;
 
   /// Number of rules `row` currently violates.
@@ -146,27 +174,83 @@ class ViolationIndex {
                                   ValueId value) const;
 
  private:
-  // LHS key of a variable rule: the row's values of X, in rule order.
+  // LHS key of a variable rule: the row's values of X, in rule order. Only
+  // the mutation path and hypothetical-key lookups materialize one.
   using GroupKey = std::vector<ValueId>;
 
   struct GroupKeyHash {
     std::size_t operator()(const GroupKey& key) const;
   };
 
-  // Per-LHS-group tallies for a variable rule. With total tuples n and
-  // per-RHS-value counts c_a: pair violations within the group are
-  // n^2 - sum(c_a^2) (each ordered pair with differing RHS), and the number
-  // of violating tuples is n when the group has >= 2 distinct RHS values,
-  // else 0.
-  struct Group {
+  // Per-LHS-group tallies. With total tuples n and per-RHS-value counts
+  // c_a: pair violations within the group are n^2 - sum(c_a^2) (each
+  // ordered pair with differing RHS), and the number of violating tuples
+  // is n when the group has >= 2 distinct RHS values, else 0. The counts
+  // live in a sorted (ValueId, count) small-vector: cheaper to probe and
+  // to copy than a hash map at the 1–3 distinct values groups typically
+  // hold. GroupCounts is the tally core shared with ViolationDelta's
+  // overlay groups (which have no use for the owning key).
+  struct GroupCounts {
     std::int64_t total = 0;
     std::int64_t sum_sq = 0;  // sum over a of c_a^2
-    std::unordered_map<ValueId, std::int64_t> counts;
+    std::vector<std::pair<ValueId, std::int64_t>> counts;
 
     std::int64_t PairViolations() const { return total * total - sum_sq; }
     std::int64_t ViolatingTuples() const {
       return counts.size() > 1 ? total : 0;
     }
+
+    std::int64_t CountOf(ValueId value) const {
+      for (const auto& [v, c] : counts) {
+        if (v == value) return c;
+        if (v > value) break;
+      }
+      return 0;
+    }
+
+    /// counts[value] += 1 and maintains sum_sq; keeps the vector sorted.
+    void Increment(ValueId value) {
+      std::size_t i = 0;
+      while (i < counts.size() && counts[i].first < value) ++i;
+      if (i == counts.size() || counts[i].first != value) {
+        counts.insert(counts.begin() + static_cast<std::ptrdiff_t>(i),
+                      {value, 0});
+      }
+      sum_sq += 2 * counts[i].second + 1;
+      ++counts[i].second;
+      ++total;
+    }
+
+    /// counts[value] -= 1 and maintains sum_sq; erases exhausted entries.
+    /// The value must be present with a positive count — Decrement is only
+    /// reachable through remove-paths for rows previously added.
+    void Decrement(ValueId value) {
+      std::size_t i = 0;
+      while (i < counts.size() && counts[i].first != value) ++i;
+      assert(i < counts.size() && counts[i].second > 0);
+      sum_sq -= 2 * counts[i].second - 1;
+      --counts[i].second;
+      if (counts[i].second == 0) {
+        counts.erase(counts.begin() + static_cast<std::ptrdiff_t>(i));
+      }
+      --total;
+    }
+
+    void Reset() {
+      total = 0;
+      sum_sq = 0;
+      counts.clear();  // clear() keeps capacity for slot reuse
+    }
+
+    void CopyFrom(const GroupCounts& other) {
+      total = other.total;
+      sum_sq = other.sum_sq;
+      counts.assign(other.counts.begin(), other.counts.end());
+    }
+  };
+
+  struct Group : GroupCounts {
+    GroupKey key;  // owning copy, for key_to_group erasure on retirement
   };
 
   // Precomputed, table-bound form of one rule plus its live aggregates.
@@ -175,6 +259,9 @@ class ViolationIndex {
     std::vector<AttrId> lhs_attrs;
     // Interned constants aligned with lhs_attrs; kInvalidValueId = wildcard.
     std::vector<ValueId> lhs_consts;
+    // Flat attr → "in X" flags (sized to the schema) so the overlay's
+    // write path can test LHS membership without scanning lhs_attrs.
+    std::vector<std::uint8_t> attr_in_lhs;
     AttrId rhs_attr = kInvalidAttrId;
     ValueId rhs_const = kInvalidValueId;  // constant rules only
 
@@ -183,18 +270,40 @@ class ViolationIndex {
     std::int64_t violating_tuples = 0;  // |D| - |D ⊨ φ|
     std::int64_t context_count = 0;     // |D(φ)|
 
-    // Constant rules: per-row violation flag.
+    // Constant rules: per-row violation flag (1 ⇔ in context AND
+    // violating, so queries need no separate context test).
     std::vector<std::uint8_t> row_violates;
 
-    // Variable rules: LHS-group tallies and per-group row membership. The
-    // membership lists make partner queries possible without a table scan.
-    std::unordered_map<GroupKey, Group, GroupKeyHash> groups;
-    std::unordered_map<GroupKey, std::vector<RowId>, GroupKeyHash> members;
+    // Variable rules: the flattened group layout. row_group is the query
+    // hot path (one array read); groups/members are dense storage indexed
+    // by GroupId and recycled via free_groups; key_to_group serves the
+    // mutation path and hypothetical-key lookups only.
+    std::vector<GroupId> row_group;  // row -> GroupId, kNoGroup = no context
+    std::vector<Group> groups;
+    std::vector<std::vector<RowId>> members;
+    std::vector<GroupId> free_groups;
+    std::unordered_map<GroupKey, GroupId, GroupKeyHash> key_to_group;
+
+    // Query-path accessors; bounds-guarded so rows appended to the table
+    // but not yet indexed read as "outside the context" rather than UB.
+    GroupId GroupIdOf(RowId row) const {
+      const std::size_t r = static_cast<std::size_t>(row);
+      return r < row_group.size() ? row_group[r] : kNoGroup;
+    }
+    bool ViolatesFlag(RowId row) const {
+      const std::size_t r = static_cast<std::size_t>(row);
+      return r < row_violates.size() && row_violates[r] != 0;
+    }
   };
 
   // True when row matches the rule's LHS pattern (t[X] ≍ tp[X]).
   bool MatchesContext(const RuleStats& rs, RowId row) const;
-  GroupKey KeyFor(const RuleStats& rs, RowId row) const;
+  void BuildKey(const RuleStats& rs, RowId row, GroupKey* key) const;
+
+  // Finds or creates the dense group slot for `row`'s current LHS key;
+  // recycles retired slots through the free list.
+  GroupId InternGroup(RuleStats& rs, RowId row);
+  void RetireGroupIfEmpty(RuleStats& rs, GroupId gid);
 
   // Removes/adds `row`'s contribution to `rs` using the row's *current*
   // table values. ApplyCellChange removes with old values, mutates the
@@ -208,6 +317,57 @@ class ViolationIndex {
   const RuleSet* rules_;
   std::vector<RuleStats> stats_;
   std::uint64_t version_ = 0;
+  GroupKey key_scratch_;  // mutation-path scratch; queries never touch it
+
+ public:
+  /// Lightweight, non-owning handle to `row`'s LHS group under a variable
+  /// rule: lets consumers that probe a group repeatedly (e.g. the update
+  /// generator's evidence-support factors) resolve it once instead of per
+  /// probe. Invalidated by any index mutation. An invalid view (constant
+  /// rule / row outside the context) answers 0/empty.
+  class GroupView {
+   public:
+    bool valid() const { return group_ != nullptr; }
+    std::int64_t total() const { return group_ != nullptr ? group_->total : 0; }
+    std::int64_t ValueCount(ValueId value) const {
+      return group_ != nullptr ? group_->CountOf(value) : 0;
+    }
+    /// Membership list in internal (unsorted) order; empty when invalid.
+    const std::vector<RowId>& rows() const {
+      static const std::vector<RowId> kEmpty;
+      return rows_ != nullptr ? *rows_ : kEmpty;
+    }
+
+   private:
+    friend class ViolationIndex;
+    GroupView(const Group* group, const std::vector<RowId>* rows)
+        : group_(group), rows_(rows) {}
+    const Group* group_ = nullptr;
+    const std::vector<RowId>* rows_ = nullptr;
+  };
+
+  /// The group `row` belongs to under `rule`; invalid for constant rules
+  /// and out-of-context rows. One array read.
+  GroupView GroupOf(RowId row, RuleId rule) const {
+    const RuleStats& rs = stats_[static_cast<std::size_t>(rule)];
+    if (rs.is_constant) return GroupView(nullptr, nullptr);
+    const GroupId gid = rs.GroupIdOf(row);
+    if (gid == kNoGroup) return GroupView(nullptr, nullptr);
+    return GroupView(&rs.groups[static_cast<std::size_t>(gid)],
+                     &rs.members[static_cast<std::size_t>(gid)]);
+  }
+
+  /// Introspection for tests: live vs recycled group-slot accounting of a
+  /// variable rule's dense storage.
+  struct GroupStorageStats {
+    std::size_t slots = 0;       // dense storage size (live + free)
+    std::size_t free_slots = 0;  // retired, awaiting reuse
+    std::size_t live_groups() const { return slots - free_slots; }
+  };
+  GroupStorageStats GroupStorage(RuleId rule) const {
+    const RuleStats& rs = stats_[static_cast<std::size_t>(rule)];
+    return {rs.groups.size(), rs.free_groups.size()};
+  }
 };
 
 /// A cheap, copyable overlay over an immutable ViolationIndex: pending
@@ -223,6 +383,21 @@ class ViolationIndex {
 /// add-with-new-values per affected rule), with variable-rule LHS groups
 /// copied on first touch, so delta aggregates are bit-identical to an
 /// index rebuilt from scratch over the overlaid table.
+///
+/// Layout mirrors the base's flattening: overlay group state is keyed by
+/// integer delta-group ids (the base's dense GroupId, or a novel id for
+/// LHS keys the base has never seen) instead of materialized key vectors,
+/// and per-row overrides live in small unsorted vectors — at the one-or-
+/// two staged writes of a VOI hypothetical these probe faster than any
+/// hash map and copy as flat memcpy-able runs.
+///
+/// Reusable-scratch contract: Discard() resets the delta to transparent
+/// while *keeping every allocation* (override vectors, copied group
+/// tallies, novel-key slots). A loop that stages one hypothetical, reads
+/// it, and Discard()s — the VOI ranking inner loop — therefore allocates
+/// only on its first few iterations and is allocation-free at steady
+/// state. Construct one delta per worker and reuse it; do not construct
+/// per hypothetical.
 ///
 /// The base must outlive the delta and must not be mutated while deltas
 /// derived from it are in use (a base ApplyCellChange invalidates them;
@@ -254,9 +429,15 @@ class ViolationDelta {
   /// Replays `other`'s pending writes on top of this overlay (both deltas
   /// must share the same base). Cell-state semantics: after the merge,
   /// every cell `other` has a pending write for reads `other`'s value.
+  /// Cost note: the flat overlay layout is designed for the few-write
+  /// hypotheticals of VOI scoring, so Merge is O(W_other × W_merged) in
+  /// pending writes — fine for combining small overlays, quadratic if
+  /// both sides carry thousands of writes (re-sort the layout before
+  /// reaching for it at that scale).
   void Merge(const ViolationDelta& other);
 
-  /// Drops all pending state; the delta reads as the base again.
+  /// Drops all pending state; the delta reads as the base again. Keeps
+  /// every allocation (the reusable-scratch contract above).
   void Discard();
 
   /// Number of cells with a pending write.
@@ -266,11 +447,25 @@ class ViolationDelta {
   // -- Aggregate queries, all resolved against base + adjustments. ------
 
   /// vio(D', {φ}) of the overlaid database.
-  std::int64_t RuleViolations(RuleId rule) const;
+  std::int64_t RuleViolations(RuleId rule) const {
+    return base_->RuleViolations(rule) +
+           rules_[static_cast<std::size_t>(rule)].violations;
+  }
+  /// vio(D', {φ}) − vio(D, {φ}): the overlay's adjustment alone. Lets the
+  /// VOI hot loop test "did this rule's count move at all" with one read.
+  std::int64_t RuleViolationAdjustment(RuleId rule) const {
+    return rules_[static_cast<std::size_t>(rule)].violations;
+  }
   /// Tuples currently violating φ in the overlaid database.
-  std::int64_t ViolatingCount(RuleId rule) const;
+  std::int64_t ViolatingCount(RuleId rule) const {
+    return base_->ViolatingCount(rule) +
+           rules_[static_cast<std::size_t>(rule)].violating_tuples;
+  }
   /// |D'(φ)| of the overlaid database.
-  std::int64_t ContextCount(RuleId rule) const;
+  std::int64_t ContextCount(RuleId rule) const {
+    return base_->ContextCount(rule) +
+           rules_[static_cast<std::size_t>(rule)].context_count;
+  }
   /// |D' ⊨ φ| (in-context satisfying tuples) of the overlaid database.
   std::int64_t SatisfyingCount(RuleId rule) const {
     return ContextCount(rule) - ViolatingCount(rule);
@@ -291,19 +486,40 @@ class ViolationDelta {
  private:
   using RuleStats = ViolationIndex::RuleStats;
   using GroupKey = ViolationIndex::GroupKey;
-  using Group = ViolationIndex::Group;
+  using GroupCounts = ViolationIndex::GroupCounts;
 
-  // Per-rule overlay state: adjustments relative to the base aggregates,
-  // sparse per-row violation-flag overrides (constant rules), and
-  // copy-on-write LHS groups holding *absolute* post-overlay tallies
-  // (variable rules). Membership lists are not overlaid — no delta query
-  // needs partner enumeration.
+  // Delta-group id: the base's dense GroupId widened to uint64, or — for
+  // LHS keys the base has never interned — kNovelBit | per-rule local id.
+  static constexpr std::uint64_t kNovelBit = 1ull << 63;
+  static constexpr std::uint64_t kDeltaNoGroup = ~0ull;
+
+  // Copy-on-write overlay of one group's tallies. Slots are recycled by
+  // live-count (not erased) so their counts vectors keep capacity across
+  // Discard().
+  struct GroupSlot {
+    std::uint64_t id = kDeltaNoGroup;
+    GroupCounts counts;
+  };
+
+  // Per-rule overlay state: adjustments relative to the base aggregates
+  // plus small-vector overrides. `touched` gates the Discard() sweep.
   struct RuleDelta {
     std::int64_t violations = 0;
     std::int64_t violating_tuples = 0;
     std::int64_t context_count = 0;
-    std::unordered_map<RowId, std::uint8_t> row_violates;
-    std::unordered_map<GroupKey, Group, ViolationIndex::GroupKeyHash> groups;
+    bool touched = false;
+    // Constant rules: sparse per-row violation-flag overrides.
+    std::vector<std::pair<RowId, std::uint8_t>> row_violates;
+    // Variable rules: per-row delta-group override (kDeltaNoGroup = out of
+    // context under the overlay). Rows without an entry resolve via the
+    // base's row → GroupId vector.
+    std::vector<std::pair<RowId, std::uint64_t>> row_group;
+    // Copy-on-write group tallies; first groups_live slots are active.
+    std::vector<GroupSlot> groups;
+    std::size_t groups_live = 0;
+    // Interned novel LHS keys; first novel_live slots are active.
+    std::vector<GroupKey> novel_keys;
+    std::size_t novel_live = 0;
   };
 
   static std::uint64_t PackCell(RowId row, AttrId attr) {
@@ -312,25 +528,48 @@ class ViolationDelta {
            static_cast<std::uint32_t>(attr);
   }
 
-  const RuleDelta* FindDelta(RuleId rule) const;
   RuleDelta& EnsureDelta(RuleId rule);
 
   bool MatchesContext(const RuleStats& rs, RowId row) const;
-  GroupKey KeyFor(const RuleStats& rs, RowId row) const;
-  bool RowViolates(const RuleStats& rs, const RuleDelta* rd, RowId row) const;
-  const Group* FindGroup(const RuleStats& rs, const RuleDelta* rd,
-                         const GroupKey& key) const;
-  Group& EnsureGroup(const RuleStats& rs, RuleDelta& rd, const GroupKey& key);
+  bool RowViolates(const RuleStats& rs, const RuleDelta& rd, RowId row) const;
+  void SetRowViolates(RuleDelta& rd, RowId row, std::uint8_t flag);
+
+  // Delta-group id of `row` under the overlay; kDeltaNoGroup when out of
+  // context. Falls back to the base's row → GroupId vector for rows the
+  // overlay never touched.
+  std::uint64_t ResolveRowGroup(const RuleStats& rs, const RuleDelta& rd,
+                                RowId row) const;
+  void SetRowGroup(RuleDelta& rd, RowId row, std::uint64_t id);
+
+  // Delta-group id for `row`'s overlay LHS key (interning a novel id if
+  // the base has never seen the key).
+  std::uint64_t ResolveKeyGroup(const RuleStats& rs, RuleDelta& rd, RowId row);
+
+  const GroupCounts* FindGroup(const RuleStats& rs, const RuleDelta& rd,
+                               std::uint64_t id) const;
+  GroupCounts& EnsureGroup(const RuleStats& rs, RuleDelta& rd,
+                           std::uint64_t id);
 
   // Mirror ViolationIndex::{Remove,Add}Row against the overlay state;
   // RemoveRow must run before the pending write lands, AddRow after.
-  void RemoveRow(RuleId rule, RowId row);
-  void AddRow(RuleId rule, RowId row);
+  // RemoveRow reports through `prev_group` the group the row left
+  // (variable rules) or whether the row was in context (constant rules:
+  // 1 / kDeltaNoGroup); AddRow reuses the signal — skipping the context
+  // test and key hash — when `key_unchanged` says the written attribute
+  // sits outside the rule's LHS and so can move neither context nor key.
+  void RemoveRow(RuleId rule, RowId row, std::uint64_t* prev_group);
+  void AddRow(RuleId rule, RowId row, std::uint64_t prev_group,
+              bool key_unchanged);
 
   const ViolationIndex* base_;
   std::uint64_t base_version_ = 0;
-  std::unordered_map<std::uint64_t, ValueId> writes_;
-  std::unordered_map<RuleId, RuleDelta> rules_;
+  // Pending writes as a flat (packed cell, value) list: at the one or two
+  // staged writes of a hypothetical, scanning beats hashing.
+  std::vector<std::pair<std::uint64_t, ValueId>> writes_;
+  std::vector<RuleDelta> rules_;  // dense, one slot per rule
+  std::vector<RuleId> touched_;   // rules with touched=true
+  GroupKey key_scratch_;          // mutation-path scratch
+  std::vector<std::uint64_t> group_hints_;  // SetCell Remove→Add handoff
 };
 
 }  // namespace gdr

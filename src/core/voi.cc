@@ -11,36 +11,72 @@ VoiRanker::VoiRanker(const ViolationIndex* index,
                      const std::vector<double>* weights, ThreadPool* workers)
     : index_(index), weights_(weights), workers_(workers) {}
 
-double VoiRanker::UpdateBenefit(const Update& update) const {
+double VoiRanker::UpdateBenefit(const Update& update,
+                                ViolationDelta* scratch) const {
   const std::vector<RuleId>& affected =
       index_->rules().RulesMentioning(update.attr);
   if (affected.empty()) return 0.0;
 
-  // D^rj as an overlay: stage the write, read the affected aggregates.
-  // The shared index is never touched, so concurrent evaluations are safe.
-  ViolationDelta delta(index_);
-  delta.SetCell(update.row, update.attr, update.value);
+  // D^rj as an overlay: stage the write into the caller's scratch delta,
+  // read the affected aggregates, discard (keeping the scratch's
+  // allocations for the next hypothetical). The shared index is never
+  // touched, so concurrent evaluations with distinct scratches are safe.
+  scratch->SetCell(update.row, update.attr, update.value);
 
   double benefit = 0.0;
   for (RuleId rule : affected) {
-    const std::int64_t satisfying = delta.SatisfyingCount(rule);
-    if (satisfying <= 0) continue;  // no denominator: rule fully violated
-    const double drop = static_cast<double>(index_->RuleViolations(rule) -
-                                            delta.RuleViolations(rule));
-    benefit += (*weights_)[static_cast<std::size_t>(rule)] * drop /
+    // drop = vio(D) − vio(D^rj) = −adjustment. A zero adjustment
+    // contributes exactly +0.0, so skipping it leaves the accumulated
+    // double bit-identical.
+    const std::int64_t adjustment = scratch->RuleViolationAdjustment(rule);
+    if (adjustment == 0) continue;
+    const std::int64_t satisfying = scratch->SatisfyingCount(rule);
+    if (satisfying <= 0) {
+      continue;  // no denominator: rule fully violated
+    }
+    benefit += (*weights_)[static_cast<std::size_t>(rule)] *
+               static_cast<double>(-adjustment) /
                static_cast<double>(satisfying);
   }
+  scratch->Discard();
   return benefit;
+}
+
+double VoiRanker::UpdateBenefit(const Update& update) const {
+  ViolationDelta scratch(index_);
+  return UpdateBenefit(update, &scratch);
+}
+
+double VoiRanker::ScoreGroupTerms(const UpdateGroup& group,
+                                  const std::vector<double>& probabilities,
+                                  ViolationDelta* scratch) const {
+  // The one canonical accumulation: terms in update order, probability
+  // times benefit. Every scoring path funnels through here, which is what
+  // keeps scores bit-identical across serial, parallel, and ScoreGroup.
+  double score = 0.0;
+  for (std::size_t j = 0; j < group.updates.size(); ++j) {
+    score += probabilities[j] * UpdateBenefit(group.updates[j], scratch);
+  }
+  return score;
+}
+
+void VoiRanker::FillProbabilities(
+    const UpdateGroup& group, const ConfirmProbabilityFn& confirm_probability,
+    std::vector<double>* out) {
+  out->clear();
+  out->reserve(group.updates.size());
+  for (const Update& update : group.updates) {
+    out->push_back(confirm_probability(update));
+  }
 }
 
 double VoiRanker::ScoreGroup(
     const UpdateGroup& group,
     const ConfirmProbabilityFn& confirm_probability) const {
-  double score = 0.0;
-  for (const Update& update : group.updates) {
-    score += confirm_probability(update) * UpdateBenefit(update);
-  }
-  return score;
+  ViolationDelta scratch(index_);
+  std::vector<double> probabilities;
+  FillProbabilities(group, confirm_probability, &probabilities);
+  return ScoreGroupTerms(group, probabilities, &scratch);
 }
 
 VoiRanker::Ranking VoiRanker::Rank(
@@ -50,30 +86,36 @@ VoiRanker::Ranking VoiRanker::Rank(
   ranking.scores.assign(groups.size(), 0.0);
 
   if (workers_ == nullptr || workers_->size() <= 1 || groups.size() <= 1) {
+    // Serial path: one scratch delta and one probability buffer for the
+    // whole pass.
+    ViolationDelta scratch(index_);
+    std::vector<double> probabilities;
     for (std::size_t i = 0; i < groups.size(); ++i) {
-      ranking.scores[i] = ScoreGroup(groups[i], confirm_probability);
+      FillProbabilities(groups[i], confirm_probability, &probabilities);
+      ranking.scores[i] = ScoreGroupTerms(groups[i], probabilities, &scratch);
     }
   } else {
     // Confirm probabilities may touch the learner bank, which is not
     // required to be thread-safe — evaluate them up front on this thread.
     std::vector<std::vector<double>> probabilities(groups.size());
     for (std::size_t i = 0; i < groups.size(); ++i) {
-      probabilities[i].reserve(groups[i].updates.size());
-      for (const Update& update : groups[i].updates) {
-        probabilities[i].push_back(confirm_probability(update));
-      }
+      FillProbabilities(groups[i], confirm_probability, &probabilities[i]);
     }
-    // Each task accumulates its group's terms in update order into its own
-    // slot — the same operations in the same order as the serial path, so
-    // the scores are bit-identical for every thread count.
-    workers_->ParallelFor(groups.size(), [&](std::size_t i) {
-      const UpdateGroup& group = groups[i];
-      double score = 0.0;
-      for (std::size_t j = 0; j < group.updates.size(); ++j) {
-        score += probabilities[i][j] * UpdateBenefit(group.updates[j]);
-      }
-      ranking.scores[i] = score;
-    });
+    // One scratch delta per executor slot (workers + the calling thread);
+    // each slot runs on exactly one thread, so its scratch needs no
+    // synchronization and is reused across every group that slot scores.
+    std::vector<ViolationDelta> scratches;
+    scratches.reserve(workers_->size() + 1);
+    for (std::size_t s = 0; s < workers_->size() + 1; ++s) {
+      scratches.emplace_back(index_);
+    }
+    // Each task runs the same canonical accumulation into its group's own
+    // slot, so the scores are bit-identical for every thread count.
+    workers_->ParallelForWithSlot(
+        groups.size(), [&](std::size_t slot, std::size_t i) {
+          ranking.scores[i] =
+              ScoreGroupTerms(groups[i], probabilities[i], &scratches[slot]);
+        });
   }
 
   ranking.order.resize(groups.size());

@@ -30,6 +30,13 @@ using ConfirmProbabilityFn = std::function<double(const Update&)>;
 /// mentioning the update's attribute contribute zero (their violation
 /// counts cannot change) and are skipped.
 ///
+/// A ranking pass evaluates one hypothetical per pooled update — tens of
+/// thousands per Rank() on paper-scale workloads — so deltas follow the
+/// reusable-scratch contract: Rank() keeps exactly one delta per worker
+/// slot (one total on the serial path), staging and Discard()ing each
+/// hypothetical into it, which makes steady-state scoring allocation-free
+/// instead of constructing and destroying overlay state per update.
+///
 /// When constructed with a ThreadPool, Rank() fans group evaluations out
 /// across the workers. Scores are reduced into per-group slots and each
 /// group's terms are accumulated in the same order as the serial path, so
@@ -42,7 +49,8 @@ class VoiRanker {
   VoiRanker(const ViolationIndex* index, const std::vector<double>* weights,
             ThreadPool* workers = nullptr);
 
-  /// E[g(c)] for one group.
+  /// E[g(c)] for one group. Uses one internal scratch delta across the
+  /// group's updates.
   double ScoreGroup(const UpdateGroup& group,
                     const ConfirmProbabilityFn& confirm_probability) const;
 
@@ -50,6 +58,13 @@ class VoiRanker {
   ///   Σ_φ w_φ (vio(D,{φ}) − vio(D^rj,{φ})) / |D^rj ⊨ φ|
   /// (without the p̃_j factor). Pure read: safe to call concurrently.
   double UpdateBenefit(const Update& update) const;
+
+  /// Scratch-reusing variant: stages the hypothetical into `scratch`
+  /// (which must be empty and derived from this ranker's index) and
+  /// Discard()s it before returning. Callers evaluating many updates keep
+  /// one delta alive and pass it here — zero allocations at steady state.
+  /// Safe to call concurrently with distinct scratch deltas.
+  double UpdateBenefit(const Update& update, ViolationDelta* scratch) const;
 
   /// Scores all groups; returns indices into `groups` sorted by descending
   /// benefit (ties by ascending index), plus the scores themselves.
@@ -71,6 +86,17 @@ class VoiRanker {
                const ConfirmProbabilityFn& confirm_probability) const;
 
  private:
+  // The one canonical per-group accumulation (terms in update order);
+  // serial and parallel ranking and ScoreGroup all funnel through it,
+  // which is what keeps scores bit-identical across paths.
+  double ScoreGroupTerms(const UpdateGroup& group,
+                         const std::vector<double>& probabilities,
+                         ViolationDelta* scratch) const;
+  static void FillProbabilities(
+      const UpdateGroup& group,
+      const ConfirmProbabilityFn& confirm_probability,
+      std::vector<double>* out);
+
   const ViolationIndex* index_;
   const std::vector<double>* weights_;
   ThreadPool* workers_;

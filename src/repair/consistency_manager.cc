@@ -134,13 +134,15 @@ void ConsistencyManager::ApplyConfirmedChange(
 
     // Partner tuples *before* the change: exactly the rows whose violation
     // counts will drop when this row's value moves away from them.
+    // (Unsorted allocation-free enumeration: everything lands in keyed
+    // sets, so partner order never matters in this routine.)
     std::unordered_set<RowId> affected_rows;
     affected_rows.insert(change.row);
     for (RuleId rid : affected_rules) {
       if (rules.rule(rid).IsVariable()) {
-        for (RowId p : index_->ViolationPartners(change.row, rid)) {
-          affected_rows.insert(p);
-        }
+        partner_scratch_.clear();
+        index_->AppendViolationPartners(change.row, rid, &partner_scratch_);
+        for (RowId p : partner_scratch_) affected_rows.insert(p);
       }
     }
 
@@ -152,9 +154,9 @@ void ConsistencyManager::ApplyConfirmedChange(
     // Partner tuples *after* the change: rows gaining new violations.
     for (RuleId rid : affected_rules) {
       if (rules.rule(rid).IsVariable()) {
-        for (RowId p : index_->ViolationPartners(change.row, rid)) {
-          affected_rows.insert(p);
-        }
+        partner_scratch_.clear();
+        index_->AppendViolationPartners(change.row, rid, &partner_scratch_);
+        for (RowId p : partner_scratch_) affected_rows.insert(p);
       }
     }
 
@@ -196,7 +198,9 @@ void ConsistencyManager::ApplyConfirmedChange(
           for (AttrId a : rule_attrs) {
             if (a != change.attr) revisit.insert(CellKey{change.row, a});
           }
-          for (RowId p : index_->ViolationPartners(change.row, rid)) {
+          partner_scratch_.clear();
+          index_->AppendViolationPartners(change.row, rid, &partner_scratch_);
+          for (RowId p : partner_scratch_) {
             for (AttrId a : rule_attrs) revisit.insert(CellKey{p, a});
           }
         }

@@ -98,6 +98,10 @@ class ConsistencyManager {
   RepairState* state_;
   UpdateGenerator* generator_;
   std::unordered_set<RowId> dirty_;
+  // Scratch for AppendViolationPartners during confirm cascades; partner
+  // order is irrelevant there (results land in keyed sets/pools), so the
+  // allocation-free unsorted enumeration suffices.
+  std::vector<RowId> partner_scratch_;
 };
 
 }  // namespace gdr

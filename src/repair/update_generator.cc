@@ -117,13 +117,15 @@ std::optional<Update> UpdateGenerator::UpdateAttributeTuple(RowId row,
         consider(v, Sim(attr, current, v));
       } else {
         // Scenario 2: adopt a violation partner's RHS value, weighted by
-        // its share of the violating group.
-        const std::int64_t current_count =
-            index_->GroupRhsValueCount(row, rid, current);
+        // its share of the violating group. Resolve the row's group once;
+        // every support probe then hits the same small-vector counts
+        // instead of re-deriving the group per partner.
+        const ViolationIndex::GroupView group = index_->GroupOf(row, rid);
+        const std::int64_t current_count = group.ValueCount(current);
         for (RowId partner : index_->ViolationPartners(row, rid)) {
           const ValueId v = table_->id_at(partner, attr);
-          const double conf = support_ratio(
-              index_->GroupRhsValueCount(row, rid, v), current_count);
+          const double conf =
+              support_ratio(group.ValueCount(v), current_count);
           consider(v, Sim(attr, current, v) * conf);
         }
       }

@@ -66,6 +66,17 @@ class ThreadPool {
   /// exception thrown by fn is rethrown on the caller.
   void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& fn);
 
+  /// As ParallelFor, but fn also receives the executor slot: slots
+  /// [0, size()) are the pool workers, slot size() is the calling thread.
+  /// Each slot is driven by exactly one thread for the duration of the
+  /// call, so per-slot scratch state (e.g. a reusable ViolationDelta)
+  /// needs no synchronization. Slot-to-chunk assignment is dynamic; only
+  /// the slot's single-threadedness is guaranteed, not which indices land
+  /// on which slot.
+  void ParallelForWithSlot(
+      std::size_t n,
+      const std::function<void(std::size_t slot, std::size_t i)>& fn);
+
  private:
   void WorkerLoop();
 

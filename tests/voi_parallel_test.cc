@@ -124,8 +124,30 @@ TEST_P(VoiParallelTest, OverlayBenefitMatchesMutateAndRevert) {
   }
 }
 
+// Differential: the scratch-reusing benefit evaluation (one delta staged
+// and Discard()ed per update — the ranking inner loop) is bit-identical
+// to constructing a fresh delta per update and to the legacy
+// mutate-and-revert layout.
+TEST_P(VoiParallelTest, ScratchReuseMatchesFreshDelta) {
+  RandomVoiInstance inst(static_cast<std::uint64_t>(GetParam()));
+  VoiRanker ranker(inst.index.get(), &inst.weights);
+  ViolationDelta scratch(inst.index.get());
+  for (const UpdateGroup& group : inst.groups) {
+    for (const Update& update : group.updates) {
+      const double reused = ranker.UpdateBenefit(update, &scratch);
+      EXPECT_TRUE(scratch.empty());  // the scratch contract: discarded
+      EXPECT_EQ(reused, ranker.UpdateBenefit(update));
+      EXPECT_EQ(reused, LegacyMutateAndRevertBenefit(inst.table, inst.rules,
+                                                     inst.weights, update));
+    }
+  }
+}
+
 // Differential: parallel scores and the chosen top group are bit-identical
-// to the serial path at 1, 2, and 8 threads.
+// to the serial path at 1, 2, 4, and 8 threads (scratch-delta reuse is on
+// everywhere — serial keeps one delta, each pool slot keeps its own), and
+// all of them pin to scores derived from the legacy mutate-and-revert
+// layout.
 TEST_P(VoiParallelTest, ParallelRankingBitIdenticalToSerial) {
   RandomVoiInstance inst(static_cast<std::uint64_t>(GetParam()));
 
@@ -134,7 +156,19 @@ TEST_P(VoiParallelTest, ParallelRankingBitIdenticalToSerial) {
       serial.Rank(inst.groups, Probability);
   ASSERT_EQ(reference.scores.size(), inst.groups.size());
 
-  for (std::size_t threads : {1u, 2u, 8u}) {
+  // Old-layout oracle: per-group scores accumulated in the same update
+  // order from mutate-and-revert benefits on a rebuilt index.
+  for (std::size_t i = 0; i < inst.groups.size(); ++i) {
+    double expected = 0.0;
+    for (const Update& update : inst.groups[i].updates) {
+      expected += Probability(update) *
+                  LegacyMutateAndRevertBenefit(inst.table, inst.rules,
+                                               inst.weights, update);
+    }
+    EXPECT_EQ(reference.scores[i], expected) << "group " << i;
+  }
+
+  for (std::size_t threads : {1u, 2u, 4u, 8u}) {
     ThreadPool pool(threads);
     VoiRanker parallel(inst.index.get(), &inst.weights, &pool);
     const VoiRanker::Ranking ranking =
