@@ -1,0 +1,216 @@
+// Streaming ingestion at million-row scale: chunked RowStream ->
+// ViolationIndex::AppendRows, measured against a from-scratch index build
+// over the identical final table.
+//
+// Two numbers matter: ingest rows/sec (the incremental path, end to end:
+// generate + append + index maintenance per chunk) and rebuild seconds
+// (one ViolationIndex construction over the finished table). The rebuild
+// runs over a *copy* of the incrementally-built table, so both indexes
+// share value dictionaries and every aggregate — violation counts, dirty
+// set, rule weights, sampled VOI benefits — must be bit-identical. Any
+// mismatch exits non-zero, which is the CI gate for the incremental
+// index.
+//
+// Emits BENCH_stream.json. Absolute throughput is hardware-dependent
+// (CI runs on small shared cores); the ratio incremental/rebuild and the
+// match flags are the portable signals.
+//
+// Flags: --rows=N (default 1000000) --chunk=N (default 4096)
+//        --cities=N (default 5000) --dirty_fraction=F (default 0.02)
+//        --seed=S (default 11) --out=PATH (default BENCH_stream.json)
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "cfd/violation_index.h"
+#include "core/quality.h"
+#include "core/voi.h"
+#include "sim/stream_gen.h"
+#include "util/stopwatch.h"
+#include "workload/row_stream.h"
+
+namespace gdr {
+namespace {
+
+struct Comparison {
+  bool counts_match = true;
+  bool dirty_match = true;
+  bool weights_match = true;
+  bool scores_match = true;
+  std::size_t sampled_updates = 0;
+
+  bool AllMatch() const {
+    return counts_match && dirty_match && weights_match && scores_match;
+  }
+};
+
+Comparison Compare(const ViolationIndex& streamed,
+                   const ViolationIndex& rebuilt, const RuleSet& rules) {
+  Comparison cmp;
+  cmp.counts_match = streamed.TotalViolations() == rebuilt.TotalViolations();
+  for (std::size_t r = 0; r < rules.size(); ++r) {
+    const RuleId rid = static_cast<RuleId>(r);
+    cmp.counts_match = cmp.counts_match &&
+                       streamed.RuleViolations(rid) ==
+                           rebuilt.RuleViolations(rid) &&
+                       streamed.ViolatingCount(rid) ==
+                           rebuilt.ViolatingCount(rid) &&
+                       streamed.ContextCount(rid) == rebuilt.ContextCount(rid);
+  }
+  const std::vector<RowId> dirty = streamed.DirtyRows();
+  cmp.dirty_match = dirty == rebuilt.DirtyRows();
+  // Bit-equality on doubles is deliberate: the incremental path must not
+  // merely approximate the rebuild, it must be the same computation.
+  const std::vector<double> streamed_weights = ContextRuleWeights(streamed);
+  cmp.weights_match = streamed_weights == ContextRuleWeights(rebuilt);
+
+  VoiRanker streamed_ranker(&streamed, &streamed_weights);
+  VoiRanker rebuilt_ranker(&rebuilt, &streamed_weights);
+  const std::size_t num_rows = streamed.table().num_rows();
+  const std::size_t sample = dirty.size() < 512 ? dirty.size() : 512;
+  for (std::size_t i = 0; i < sample; ++i) {
+    const RowId row = dirty[i];
+    for (AttrId attr : {AttrId{1}, AttrId{2}}) {  // City, Zip
+      Update update;
+      update.row = row;
+      update.attr = attr;
+      // A value interned in both tables (they share dictionaries): the
+      // same cell one row over.
+      update.value = streamed.table().id_at(
+          static_cast<RowId>((static_cast<std::size_t>(row) + 1) % num_rows),
+          attr);
+      cmp.scores_match =
+          cmp.scores_match && streamed_ranker.UpdateBenefit(update) ==
+                                  rebuilt_ranker.UpdateBenefit(update);
+      ++cmp.sampled_updates;
+    }
+  }
+  return cmp;
+}
+
+int Run(int argc, char** argv) {
+  const bench::Flags flags(argc, argv);
+  StreamGenOptions options;
+  options.records =
+      static_cast<std::uint64_t>(flags.GetInt("rows", 1'000'000));
+  options.cities = static_cast<std::uint64_t>(flags.GetInt("cities", 5'000));
+  options.dirty_fraction = flags.GetDouble("dirty_fraction", 0.02);
+  options.seed = static_cast<std::uint64_t>(flags.GetInt("seed", 11));
+  const std::size_t chunk =
+      static_cast<std::size_t>(flags.GetInt("chunk", 4096));
+  const std::string out_path =
+      flags.GetString("out", "BENCH_stream.json");
+
+  auto rules_or = StreamGenRules(options);
+  if (!rules_or.ok()) {
+    std::fprintf(stderr, "rules: %s\n", rules_or.status().message().c_str());
+    return 1;
+  }
+  const RuleSet rules = *std::move(rules_or);
+  auto stream_or = MakeStreamGenStream(options);
+  if (!stream_or.ok()) {
+    std::fprintf(stderr, "stream: %s\n",
+                 stream_or.status().message().c_str());
+    return 1;
+  }
+  const std::unique_ptr<RowStream> stream = std::move(*stream_or);
+
+  // Incremental: empty table, then chunked AppendRows through the index.
+  Table table(rules.schema());
+  ViolationIndex streamed(&table, &rules);
+  std::vector<std::vector<std::string>> rows;
+  const Stopwatch ingest_watch;
+  std::size_t ingested = 0;
+  while (true) {
+    rows.clear();
+    auto pulled = stream->NextChunk(chunk, &rows);
+    if (!pulled.ok()) {
+      std::fprintf(stderr, "stream: %s\n", pulled.status().message().c_str());
+      return 1;
+    }
+    if (*pulled == 0) break;
+    if (const auto appended = streamed.AppendRows(rows); !appended.ok()) {
+      std::fprintf(stderr, "append: %s\n",
+                   appended.status().message().c_str());
+      return 1;
+    }
+    ingested += *pulled;
+  }
+  const double ingest_seconds = ingest_watch.ElapsedSeconds();
+
+  // Rebuild: one index construction over a copy of the identical table.
+  Table final_copy = table;
+  const Stopwatch rebuild_watch;
+  ViolationIndex rebuilt(&final_copy, &rules);
+  const double rebuild_seconds = rebuild_watch.ElapsedSeconds();
+
+  const Comparison cmp = Compare(streamed, rebuilt, rules);
+  const double rows_per_sec =
+      ingest_seconds > 0.0 ? static_cast<double>(ingested) / ingest_seconds
+                           : 0.0;
+
+  std::printf("bench_stream: %zu rows, chunk %zu\n", ingested, chunk);
+  std::printf("  ingest   %.3fs  (%.0f rows/sec, incremental index)\n",
+              ingest_seconds, rows_per_sec);
+  std::printf("  rebuild  %.3fs  (from-scratch index over final table)\n",
+              rebuild_seconds);
+  std::printf("  dirty rows %zu, total violations %lld\n",
+              streamed.DirtyRows().size(),
+              static_cast<long long>(streamed.TotalViolations()));
+  std::printf("  match: counts=%d dirty=%d weights=%d scores=%d (%zu "
+              "sampled updates)\n",
+              cmp.counts_match, cmp.dirty_match, cmp.weights_match,
+              cmp.scores_match, cmp.sampled_updates);
+
+  if (FILE* out = std::fopen(out_path.c_str(), "w")) {
+    std::fprintf(out, "{\n");
+    std::fprintf(out, "  \"bench\": \"stream\",\n");
+    std::fprintf(out, "  \"rows\": %zu,\n", ingested);
+    std::fprintf(out, "  \"chunk\": %zu,\n", chunk);
+    std::fprintf(out, "  \"cities\": %llu,\n",
+                 static_cast<unsigned long long>(options.cities));
+    std::fprintf(out, "  \"dirty_fraction\": %.6f,\n",
+                 options.dirty_fraction);
+    std::fprintf(out, "  \"seed\": %llu,\n",
+                 static_cast<unsigned long long>(options.seed));
+    std::fprintf(out, "  \"ingest_seconds\": %.6f,\n", ingest_seconds);
+    std::fprintf(out, "  \"ingest_rows_per_sec\": %.1f,\n", rows_per_sec);
+    std::fprintf(out, "  \"rebuild_seconds\": %.6f,\n", rebuild_seconds);
+    std::fprintf(out, "  \"incremental_vs_rebuild\": %.4f,\n",
+                 rebuild_seconds > 0.0 ? ingest_seconds / rebuild_seconds
+                                       : 0.0);
+    std::fprintf(out, "  \"dirty_rows\": %zu,\n",
+                 streamed.DirtyRows().size());
+    std::fprintf(out, "  \"total_violations\": %lld,\n",
+                 static_cast<long long>(streamed.TotalViolations()));
+    std::fprintf(out, "  \"sampled_updates\": %zu,\n", cmp.sampled_updates);
+    std::fprintf(out, "  \"counts_match\": %s,\n",
+                 cmp.counts_match ? "true" : "false");
+    std::fprintf(out, "  \"dirty_match\": %s,\n",
+                 cmp.dirty_match ? "true" : "false");
+    std::fprintf(out, "  \"weights_match\": %s,\n",
+                 cmp.weights_match ? "true" : "false");
+    std::fprintf(out, "  \"scores_match\": %s\n",
+                 cmp.scores_match ? "true" : "false");
+    std::fprintf(out, "}\n");
+    std::fclose(out);
+    std::printf("wrote %s\n", out_path.c_str());
+  } else {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+
+  if (!cmp.AllMatch()) {
+    std::fprintf(stderr,
+                 "FAIL: incremental index diverged from rebuild\n");
+    return 2;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace gdr
+
+int main(int argc, char** argv) { return gdr::Run(argc, argv); }

@@ -12,6 +12,7 @@
 #include "core/voi.h"
 #include "ml/random_forest.h"
 #include "repair/update_generator.h"
+#include "sim/stream_gen.h"
 #include "util/rng.h"
 #include "util/string_similarity.h"
 #include "workload/registry.h"
@@ -51,6 +52,86 @@ void BM_ViolationIndexBuild(benchmark::State& state) {
                           static_cast<std::int64_t>(dataset.dirty.num_rows()));
 }
 BENCHMARK(BM_ViolationIndexBuild)->Unit(benchmark::kMillisecond);
+
+// Streaming ingestion head-to-head, per batch size (Arg = rows appended):
+// BM_IndexAppendRow grows a ~10k-row base index incrementally by one batch
+// of generated rows; BM_IndexRebuild constructs a from-scratch index over
+// the equivalent final table. At small batches the incremental path should
+// win by orders of magnitude; the crossover batch size is the number to
+// watch across commits.
+constexpr std::uint64_t kStreamBenchBase = 10'000;
+
+StreamGenOptions StreamBenchOptions() {
+  StreamGenOptions options;
+  options.records = kStreamBenchBase;
+  options.cities = 500;
+  options.seed = 29;
+  return options;
+}
+
+// Base table plus `extra` generated rows past the base, as strings.
+std::vector<std::vector<std::string>> StreamBenchRows(std::uint64_t first,
+                                                      std::uint64_t count) {
+  const StreamGenOptions options = StreamBenchOptions();
+  std::vector<std::vector<std::string>> rows(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    StreamGenRow(options, first + i, &rows[i]);
+  }
+  return rows;
+}
+
+void BM_IndexAppendRow(benchmark::State& state) {
+  const StreamGenOptions options = StreamBenchOptions();
+  auto rules_or = StreamGenRules(options);
+  if (!rules_or.ok()) {
+    state.SkipWithError("stream rules failed");
+    return;
+  }
+  const RuleSet rules = *std::move(rules_or);
+  const std::vector<std::vector<std::string>> base =
+      StreamBenchRows(0, kStreamBenchBase);
+  const std::vector<std::vector<std::string>> batch = StreamBenchRows(
+      kStreamBenchBase, static_cast<std::uint64_t>(state.range(0)));
+  for (auto _ : state) {
+    state.PauseTiming();  // rebuild the pre-append state outside the clock
+    Table table(rules.schema());
+    ViolationIndex index(&table, &rules);
+    if (!index.AppendRows(base).ok()) {
+      state.SkipWithError("base append failed");
+      return;
+    }
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(index.AppendRows(batch).ok());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_IndexAppendRow)->Arg(64)->Arg(512)->Arg(4096);
+
+void BM_IndexRebuild(benchmark::State& state) {
+  const StreamGenOptions options = StreamBenchOptions();
+  auto rules_or = StreamGenRules(options);
+  if (!rules_or.ok()) {
+    state.SkipWithError("stream rules failed");
+    return;
+  }
+  const RuleSet rules = *std::move(rules_or);
+  Table final_table(rules.schema());
+  for (const auto& row : StreamBenchRows(
+           0, kStreamBenchBase + static_cast<std::uint64_t>(state.range(0)))) {
+    if (!final_table.AppendRow(row).ok()) {
+      state.SkipWithError("table append failed");
+      return;
+    }
+  }
+  for (auto _ : state) {
+    Table table = final_table;
+    ViolationIndex index(&table, &rules);
+    benchmark::DoNotOptimize(index.TotalViolations());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_IndexRebuild)->Arg(64)->Arg(512)->Arg(4096)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_ApplyCellChange(benchmark::State& state) {
   const Dataset& dataset = SharedDataset();

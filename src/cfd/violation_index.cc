@@ -46,6 +46,41 @@ ViolationIndex::ViolationIndex(Table* table, const RuleSet* rules)
   }
 }
 
+Result<RowId> ViolationIndex::AppendRow(const std::vector<std::string>& values) {
+  GDR_ASSIGN_OR_RETURN(const RowId row, table_->AppendRow(values));
+  ++version_;
+  for (RuleStats& rs : stats_) AddRow(rs, row);
+  return row;
+}
+
+Result<RowId> ViolationIndex::AppendRows(
+    const std::vector<std::vector<std::string>>& rows) {
+  if (rows.empty()) {
+    return Status::InvalidArgument("AppendRows needs at least one row");
+  }
+  // Validate every arity before touching anything, so a malformed row in
+  // the middle of a batch cannot leave the table and index half-grown.
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    if (rows[i].size() != table_->num_attrs()) {
+      return Status::InvalidArgument(
+          "batch row " + std::to_string(i) + ": arity " +
+          std::to_string(rows[i].size()) + " does not match schema arity " +
+          std::to_string(table_->num_attrs()) + " (no rows were appended)");
+    }
+  }
+  ++version_;
+  const RowId first = static_cast<RowId>(table_->num_rows());
+  table_->Reserve(table_->num_rows() + rows.size());
+  for (const std::vector<std::string>& values : rows) {
+    // Cannot fail: arity was validated above, and AppendRow has no other
+    // failure mode.
+    const Result<RowId> row = table_->AppendRow(values);
+    assert(row.ok());
+    for (RuleStats& rs : stats_) AddRow(rs, *row);
+  }
+  return first;
+}
+
 bool ViolationIndex::MatchesContext(const RuleStats& rs, RowId row) const {
   for (std::size_t i = 0; i < rs.lhs_attrs.size(); ++i) {
     if (rs.lhs_consts[i] != kInvalidValueId &&

@@ -82,6 +82,23 @@ class ViolationIndex {
   /// String-value convenience overload (interns `value` first).
   ValueId ApplyCellChange(RowId row, AttrId attr, std::string_view value);
 
+  /// Streaming ingestion: appends one row to the table and indexes it
+  /// incrementally — the new row joins its LHS group (or mints one,
+  /// recycling a free-listed slot) per variable rule, and the constant-rule
+  /// bitmaps grow in place. O(#rules × arity) per row, independent of
+  /// table size; aggregates are maintained exactly, so the result is
+  /// bit-identical to rebuilding the index over the grown table (the
+  /// streaming differential suite pins this). Returns the new RowId.
+  /// Bumps version(): outstanding ViolationDeltas become stale.
+  Result<RowId> AppendRow(const std::vector<std::string>& values);
+
+  /// Batch variant: appends and indexes `rows` in order, returning the
+  /// first new RowId (the batch occupies [first, first + rows.size())).
+  /// All-or-nothing: every row's arity is validated up front, and on
+  /// failure neither the table nor the index has changed. Fails on an
+  /// empty batch. One version() bump per call.
+  Result<RowId> AppendRows(const std::vector<std::vector<std::string>>& rows);
+
   /// vio(t, {φ}) of Definition 1.
   std::int64_t TupleViolation(RowId row, RuleId rule) const;
 

@@ -81,6 +81,23 @@ Status GdrEngine::Initialize() {
   return Status::OK();
 }
 
+Result<GdrEngine::AppendOutcome> GdrEngine::AppendDirtyRows(
+    const std::vector<std::vector<std::string>>& rows) {
+  if (!initialized_) {
+    return Status::FailedPrecondition("call Initialize() first");
+  }
+  AppendOutcome outcome;
+  if (rows.empty()) return outcome;
+  GDR_ASSIGN_OR_RETURN(outcome.first_row, index_->AppendRows(rows));
+  outcome.rows = rows.size();
+  outcome.newly_dirty = manager_->AdmitRows(outcome.first_row, rows.size());
+  // |D| and every |D(φ)| moved; the Eq. 3 weights follow the live instance.
+  weights_ = ContextRuleWeights(*index_);
+  stats_.appended_rows += rows.size();
+  stats_.admitted_dirty += outcome.newly_dirty;
+  return outcome;
+}
+
 bool GdrEngine::PickGroup(const std::vector<UpdateGroup>& groups,
                           const VoiRanker::Ranking& ranking,
                           std::size_t* picked, double* gmax) const {

@@ -114,6 +114,14 @@ struct GdrStats {
   std::size_t learner_confirms = 0;
   std::size_t forced_repairs = 0;  // consistency-manager cascades
   std::size_t outer_iterations = 0;
+  /// Streaming ingestion counters. appended_rows counts every row admitted
+  /// through AppendDirtyRows (clean arrivals included); admitted_dirty
+  /// counts the rows that entered the dirty set because of those appends
+  /// (arrivals and existing partners alike). initial_dirty stays frozen at
+  /// its Initialize() value — E of Section 5.2 is a property of the
+  /// initial instance.
+  std::size_t appended_rows = 0;
+  std::size_t admitted_dirty = 0;
   /// Wall-clock phase breakdown. Excluded from determinism comparisons —
   /// every other field is identical run-to-run for a fixed seed,
   /// regardless of num_threads.
@@ -156,6 +164,24 @@ class GdrEngine {
   /// pool, fixes the rule weights w_i = |D(φ_i)|/|D| on the initial
   /// instance.
   Status Initialize();
+
+  /// Outcome of one streaming admission (AppendDirtyRows).
+  struct AppendOutcome {
+    RowId first_row = -1;        // first id of the appended batch
+    std::size_t rows = 0;        // rows appended (== batch size)
+    std::size_t newly_dirty = 0;  // rows that entered the dirty set
+  };
+
+  /// Streaming ingestion: appends `rows` to the live instance (incremental
+  /// index maintenance via ViolationIndex::AppendRows, all-or-nothing),
+  /// admits the resulting violations into the update pool
+  /// (ConsistencyManager::AdmitRows), and refreshes the rule weights
+  /// w_i = |D(φ_i)|/|D| for the grown instance. Requires Initialize().
+  /// Rows violating no rule are appended but admit nothing. Deterministic:
+  /// the same engine history plus the same appends yields a bit-identical
+  /// engine, which is what lets GdrSession record appends in its event log.
+  Result<AppendOutcome> AppendDirtyRows(
+      const std::vector<std::vector<std::string>>& rows);
 
   /// Invoked after every user label and after every learner batch, with
   /// the engine in a consistent state; `user_feedback` is the labels spent

@@ -1,6 +1,7 @@
 #include "core/session.h"
 
 #include <algorithm>
+#include <map>
 #include <sstream>
 #include <utility>
 
@@ -41,7 +42,9 @@ class ScopedTimer {
 };
 
 constexpr char kSnapshotMagic[] = "GDRSNAP";
-constexpr int kSnapshotVersion = 1;
+// Version 2 added the append ("A") event for streaming admissions;
+// version-1 snapshots (pulls and submissions only) still deserialize.
+constexpr int kSnapshotVersion = 2;
 
 void AppendHex(const std::string& bytes, std::ostringstream* out) {
   static constexpr char kHex[] = "0123456789abcdef";
@@ -88,6 +91,22 @@ std::string SessionSnapshot::Serialize() const {
       out << "P\n";
       continue;
     }
+    if (event.kind == Event::Kind::kAppend) {
+      // Rows are recorded verbatim so replay re-appends exactly what the
+      // live session ingested; arity is uniform (AppendRows validated it).
+      const std::size_t arity = event.rows.empty() ? 0 : event.rows[0].size();
+      out << "A " << event.rows.size() << " " << arity << " "
+          << event.newly_dirty << "\n";
+      for (const std::vector<std::string>& row : event.rows) {
+        for (std::size_t a = 0; a < row.size(); ++a) {
+          if (a > 0) out << " ";
+          out << "V";
+          AppendHex(row[a], &out);  // any byte is legal in a cell value
+        }
+        out << "\n";
+      }
+      continue;
+    }
     out << "S " << event.update_id << " " << static_cast<int>(event.feedback)
         << " " << (event.applied ? "A" : "X") << " ";
     if (event.has_value) {
@@ -108,7 +127,7 @@ Result<SessionSnapshot> SessionSnapshot::Deserialize(std::string_view text) {
   if (!(in >> magic >> version) || magic != kSnapshotMagic) {
     return Status::InvalidArgument("not a GDR session snapshot");
   }
-  if (version != kSnapshotVersion) {
+  if (version != 1 && version != kSnapshotVersion) {
     return Status::InvalidArgument("unsupported snapshot version " +
                                    std::to_string(version));
   }
@@ -160,6 +179,22 @@ Result<SessionSnapshot> SessionSnapshot::Deserialize(std::string_view text) {
           return Status::InvalidArgument("malformed volunteered value");
         }
         event.has_value = true;
+      }
+    } else if (tag == "A") {
+      event.kind = Event::Kind::kAppend;
+      std::size_t num_rows = 0, arity = 0;
+      if (!(in >> num_rows >> arity >> event.newly_dirty)) {
+        return Status::InvalidArgument("malformed append event");
+      }
+      event.rows.assign(num_rows, std::vector<std::string>(arity));
+      for (std::vector<std::string>& row : event.rows) {
+        for (std::string& cell : row) {
+          std::string token;
+          if (!(in >> token) || token.front() != 'V' ||
+              !DecodeHex(std::string_view(token).substr(1), &cell)) {
+            return Status::InvalidArgument("malformed append event cell");
+          }
+        }
       }
     } else {
       return Status::InvalidArgument("unknown snapshot event tag '" + tag +
@@ -281,6 +316,131 @@ Result<FeedbackOutcome> GdrSession::SubmitFeedback(
   return outcome;
 }
 
+Result<SessionAppendOutcome> GdrSession::AppendDirtyRows(
+    const std::vector<std::vector<std::string>>& rows) {
+  if (phase_ == Phase::kNotStarted) {
+    return Status::FailedPrecondition(
+        "call Start() before AppendDirtyRows()");
+  }
+  SessionAppendOutcome outcome;
+  if (rows.empty()) return outcome;  // nothing ingested, nothing logged
+  GdrEngine& engine = *engine_;
+  const ScopedTimer total_timer(&engine.stats_.timings.total_seconds);
+  const std::int64_t pool_before =
+      static_cast<std::int64_t>(engine.pool_->size());
+  GDR_ASSIGN_OR_RETURN(const GdrEngine::AppendOutcome admitted,
+                       engine.AppendDirtyRows(rows));
+  outcome.rows_appended = admitted.rows;
+  outcome.newly_dirty = admitted.newly_dirty;
+  outcome.pool_delta =
+      static_cast<std::int64_t>(engine.pool_->size()) - pool_before;
+
+  if (outcome.newly_dirty > 0 || outcome.pool_delta != 0) {
+    // The admission must count as progress in the no-progress epilogues:
+    // the merged-in groups deserve an iteration before the loop may end.
+    admitted_since_iteration_ = true;
+    if (phase_ == Phase::kBatchOut) {
+      // A grouped iteration is in flight: merge the admitted updates into
+      // the live ranking without rescoring untouched groups.
+      outcome.groups_rescored = MergeAdmittedGroups();
+    }
+  }
+  if (state_ == SessionState::kDone && engine.manager_->HasDirtyRows() &&
+      !engine.pool_->empty()) {
+    // The appends introduced dirt after completion: re-arm the loop. The
+    // next pull re-checks budget and iteration limits as usual.
+    phase_ = engine.options_.strategy == Strategy::kActiveLearning
+                 ? Phase::kAlRoundStart
+                 : Phase::kIterationStart;
+    state_ = SessionState::kRanking;
+    outcome.revived = true;
+  }
+
+  SessionSnapshot::Event event;
+  event.kind = SessionSnapshot::Event::Kind::kAppend;
+  event.rows = rows;
+  event.newly_dirty = outcome.newly_dirty;
+  log_.push_back(std::move(event));
+  return outcome;
+}
+
+std::size_t GdrSession::MergeAdmittedGroups() {
+  GdrEngine& engine = *engine_;
+  const Stopwatch merge_watch;
+  const UpdateGroup picked_old = groups_[picked_group_];
+  const double picked_score = group_score_;
+
+  std::vector<UpdateGroup> fresh = GroupUpdates(*engine.pool_);
+  std::map<std::pair<AttrId, ValueId>, std::size_t> old_index;
+  for (std::size_t i = 0; i < groups_.size(); ++i) {
+    old_index.emplace(std::make_pair(groups_[i].attr, groups_[i].value), i);
+  }
+  // Update::operator== ignores the score, but a regenerated suggestion
+  // with a different score must count as a changed group.
+  const auto same_updates = [](const UpdateGroup& a, const UpdateGroup& b) {
+    if (a.updates.size() != b.updates.size()) return false;
+    for (std::size_t i = 0; i < a.updates.size(); ++i) {
+      if (!(a.updates[i] == b.updates[i]) ||
+          a.updates[i].score != b.updates[i].score) {
+        return false;
+      }
+    }
+    return true;
+  };
+
+  const bool voi = RanksByVoi();
+  std::vector<double> scores(fresh.size(), 0.0);
+  std::size_t rescored = 0;
+  std::size_t new_picked = fresh.size();
+  for (std::size_t i = 0; i < fresh.size(); ++i) {
+    const auto it = old_index.find({fresh[i].attr, fresh[i].value});
+    const bool unchanged =
+        it != old_index.end() && same_updates(fresh[i], groups_[it->second]);
+    if (unchanged) {
+      if (voi) scores[i] = ranking_.ScoreOf(it->second);
+    } else {
+      // Minted or changed by the admission: (re)score it. Untouched
+      // groups above keep the score computed at iteration start — that
+      // score may be stale w.r.t. the grown denominators, which is the
+      // documented staleness tolerance (full rescore next iteration).
+      if (voi) {
+        scores[i] = engine.voi_->ScoreGroup(fresh[i], [&engine](const Update& u) {
+          return engine.bank_->ConfirmProbability(u);
+        });
+      }
+      ++rescored;
+    }
+    if (fresh[i].attr == picked_old.attr &&
+        fresh[i].value == picked_old.value) {
+      new_picked = i;
+    }
+  }
+  if (new_picked == fresh.size()) {
+    // The picked (attr, value) vanished — a partner revisit can replace a
+    // suggestion's value. Keep the old group object so the in-flight group
+    // session drains naturally: its dead updates fall out via
+    // LiveGroupUpdates and the session moves on to take-over.
+    fresh.push_back(picked_old);
+    scores.push_back(picked_score);
+    new_picked = fresh.size() - 1;
+  }
+  groups_ = std::move(fresh);
+  picked_group_ = new_picked;
+  if (voi) {
+    // Rebuild the order exactly as Rank() does: descending score, ties by
+    // ascending group index.
+    ranking_.scores = std::move(scores);
+    ranking_.order.resize(groups_.size());
+    for (std::size_t i = 0; i < groups_.size(); ++i) ranking_.order[i] = i;
+    std::stable_sort(ranking_.order.begin(), ranking_.order.end(),
+                     [this](std::size_t a, std::size_t b) {
+                       return ranking_.scores[a] > ranking_.scores[b];
+                     });
+  }
+  engine.stats_.timings.ranking_seconds += merge_watch.ElapsedSeconds();
+  return rescored;
+}
+
 bool GdrSession::IsLive(std::uint64_t update_id) const {
   for (const OutstandingEntry& entry : outstanding_) {
     if (entry.suggestion.update_id == update_id) {
@@ -374,6 +534,7 @@ Status GdrSession::StepIterationStart() {
   labeled_in_group_ = 0;
   before_feedback_ = engine.stats_.user_feedback;
   before_decisions_ = engine.stats_.learner_decisions;
+  admitted_since_iteration_ = false;
   phase_ = Phase::kRoundStart;
   return Status::OK();
 }
@@ -429,9 +590,11 @@ Status GdrSession::StepTakeOver() {
                                       : callback_);
   // Iteration epilogue: a group session that produced neither user
   // feedback nor learner decisions cannot make progress (every suggestion
-  // went stale); terminate rather than loop.
+  // went stale); terminate rather than loop. A mid-iteration admission
+  // counts as progress — the merged-in groups have not been presented yet.
   if (engine.stats_.user_feedback == before_feedback_ &&
-      engine.stats_.learner_decisions == before_decisions_) {
+      engine.stats_.learner_decisions == before_decisions_ &&
+      !admitted_since_iteration_) {
     phase_ = Phase::kFinalSweep;
   } else {
     phase_ = Phase::kIterationStart;
@@ -459,6 +622,7 @@ Status GdrSession::StepAlRoundStart(std::vector<SuggestedUpdate>* batch) {
   }
   labeled_in_round_ = 0;
   touched_attrs_.clear();
+  admitted_since_iteration_ = false;
   // Ungrouped: each suggestion is presented under its own cell.
   DeliverBatch(live, count, kInvalidAttrId, kInvalidValueId, 0.0, batch);
   phase_ = Phase::kAlBatchOut;
@@ -485,8 +649,9 @@ Status GdrSession::StepAlRoundEnd() {
   outstanding_.clear();
   resolved_count_ = 0;
   if (labeled_in_round_ == 0) {
-    if (abandoned_live) {
-      // Nothing was consumed; re-rank and re-present.
+    if (abandoned_live || admitted_since_iteration_) {
+      // Nothing was consumed, but either live suggestions were walked away
+      // from or an admission refreshed the pool; re-rank and re-present.
       phase_ = Phase::kAlRoundStart;
     } else {
       // A whole round without a single consumable label: the pool has
@@ -608,6 +773,20 @@ Status GdrSession::Restore(const SessionSnapshot& snapshot) {
       const Result<std::vector<SuggestedUpdate>> batch = NextBatch();
       if (!batch.ok()) {
         status = batch.status();
+        break;
+      }
+    } else if (event.kind == SessionSnapshot::Event::Kind::kAppend) {
+      const Result<SessionAppendOutcome> outcome =
+          AppendDirtyRows(event.rows);
+      if (!outcome.ok()) {
+        status = outcome.status();
+        break;
+      }
+      if (outcome->newly_dirty != event.newly_dirty) {
+        status = Status::InvalidArgument(
+            "snapshot replay diverged: a recorded append admitted a "
+            "different number of dirty rows (was the table reloaded in "
+            "its original dirty state?)");
         break;
       }
     } else {

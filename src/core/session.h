@@ -70,8 +70,8 @@ struct SuggestedUpdate {
 };
 
 /// A serializable record of a session's loop position. Event-sourced: the
-/// snapshot is the exact sequence of API calls (pulls and submissions)
-/// that produced the current state. Because every component is
+/// snapshot is the exact sequence of API calls (pulls, submissions, and
+/// row appends) that produced the current state. Because every component is
 /// deterministic under a fixed seed, replaying the events against a fresh
 /// session over the *original dirty table* reconstructs the pool, the
 /// learner bank (training sets, forests, rolling accuracy), the RNG
@@ -79,7 +79,7 @@ struct SuggestedUpdate {
 /// survive a process restart without serializing any of those directly.
 struct SessionSnapshot {
   struct Event {
-    enum class Kind : std::uint8_t { kPull = 0, kSubmit = 1 };
+    enum class Kind : std::uint8_t { kPull = 0, kSubmit = 1, kAppend = 2 };
     Kind kind = Kind::kPull;
     std::uint64_t update_id = 0;          // kSubmit only
     Feedback feedback = Feedback::kConfirm;  // kSubmit only
@@ -90,6 +90,11 @@ struct SessionSnapshot {
     bool applied = false;                 // kSubmit only
     bool has_value = false;               // volunteered value present?
     std::string value;                    // kSubmit only, when has_value
+    /// kAppend only: the admitted rows, verbatim, and how many rows the
+    /// admission made dirty. Replay re-appends the rows; a newly_dirty
+    /// mismatch is the appends' divergence check, analogous to `applied`.
+    std::vector<std::vector<std::string>> rows;
+    std::size_t newly_dirty = 0;
 
     bool operator==(const Event&) const = default;
   };
@@ -111,10 +116,31 @@ struct SessionSnapshot {
 
   std::vector<Event> events;
 
-  /// Plain-text wire format (versioned header + length-prefixed values,
-  /// so volunteered strings may contain any bytes).
+  /// Plain-text wire format (versioned header + hex-encoded values, so
+  /// volunteered strings and appended cells may contain any bytes).
+  /// Version 2 adds the append ("A") event; version-1 snapshots (no
+  /// appends) still deserialize.
   std::string Serialize() const;
   static Result<SessionSnapshot> Deserialize(std::string_view text);
+};
+
+/// Outcome of one GdrSession::AppendDirtyRows call.
+struct SessionAppendOutcome {
+  std::size_t rows_appended = 0;
+  /// Rows that entered the dirty set: arrivals that violate a rule plus
+  /// existing rows their arrival implicated. 0 means the appends were
+  /// clean — nothing was admitted and the ranking is untouched.
+  std::size_t newly_dirty = 0;
+  /// Net change in pool size (admission adds suggestions; a partner
+  /// revisit may retire one without replacement).
+  std::int64_t pool_delta = 0;
+  /// Groups the live-ranking merge had to (re)score: groups minted or
+  /// changed by this admission. Untouched groups keep their scores —
+  /// the merge never rescores them.
+  std::size_t groups_rescored = 0;
+  /// True when the appends re-armed a session that had already reached
+  /// kDone (new dirt revives the loop).
+  bool revived = false;
 };
 
 /// The pull-based interactive loop of Procedure 1, inverted: instead of
@@ -180,6 +206,22 @@ class GdrSession {
   Result<FeedbackOutcome> SubmitFeedback(
       std::uint64_t update_id, Feedback feedback,
       std::optional<std::string> suggested_value = std::nullopt);
+
+  /// Streaming admission: appends `rows` to the live instance mid-session
+  /// — at any loop position, including mid-batch and after kDone. The
+  /// engine indexes the rows incrementally and admits their violations
+  /// into the update pool; the session then merges the new state into the
+  /// *live* ranking: groups whose update lists the admission left alone
+  /// keep their scores verbatim (their next full rescore happens at the
+  /// next iteration, as always), while minted or changed groups are scored
+  /// against the grown index. The in-flight group session continues —
+  /// admitted updates that join the picked group's (attribute, value)
+  /// surface in its later rounds. Clean rows (violating nothing) admit
+  /// nothing and cause zero ranking churn. Appends are recorded in the
+  /// event log, so Snapshot()/Restore() replays them in position; a kDone
+  /// session with new dirt is re-armed (`revived`).
+  Result<SessionAppendOutcome> AppendDirtyRows(
+      const std::vector<std::vector<std::string>>& rows);
 
   /// True while `update_id` is outstanding *and* its suggestion is still
   /// the pool's live entry for the cell. A pump should skip dead ids
@@ -261,6 +303,11 @@ class GdrSession {
 
   bool RanksByVoi() const;
 
+  // Splices an admission into the live grouped-iteration state: regroups
+  // the pool, carries unchanged groups' scores over, scores minted/changed
+  // groups, and remaps picked_group_. Returns the number of groups scored.
+  std::size_t MergeAdmittedGroups();
+
   GdrEngine* engine_;                     // the components + step functions
   std::unique_ptr<GdrEngine> owned_engine_;  // set by the owning ctor
   GdrEngine::ProgressCallback callback_;
@@ -278,6 +325,10 @@ class GdrSession {
   std::size_t labeled_in_group_ = 0;
   std::size_t before_feedback_ = 0;
   std::size_t before_decisions_ = 0;
+  // Set by AppendDirtyRows, cleared at each iteration/AL-round start: an
+  // admission counts as progress in the no-progress epilogues (the new
+  // groups deserve an iteration before the loop may terminate).
+  bool admitted_since_iteration_ = false;
 
   // Active-Learning round position.
   std::size_t labeled_in_round_ = 0;

@@ -23,6 +23,16 @@ Result<RowId> Table::AppendRow(const std::vector<std::string>& values) {
   return static_cast<RowId>(rows_.size() - 1);
 }
 
+void Table::TruncateTo(std::size_t num_rows) {
+  while (rows_.size() > num_rows) {
+    const std::vector<ValueId>& row = rows_.back();
+    for (std::size_t a = 0; a < row.size(); ++a) {
+      --value_counts_[a][static_cast<std::size_t>(row[a])];
+    }
+    rows_.pop_back();
+  }
+}
+
 ValueId Table::Set(RowId row, AttrId attr, std::string_view value) {
   const ValueId id = dicts_[static_cast<std::size_t>(attr)].Intern(value);
   SetById(row, attr, id);

@@ -12,10 +12,14 @@
 
 namespace gdr {
 
-/// Dense index of a tuple within a table. Row ids are stable: GDR repairs by
-/// value modification only (the paper's update model), never by insertion or
-/// deletion, so a RowId identifies the same logical tuple for the lifetime
-/// of an experiment.
+/// Dense index of a tuple within a table. Row ids are stable under the
+/// growth contract: GDR repairs by value modification only (the paper's
+/// update model) and tables grow strictly by appending — a RowId, once
+/// issued, identifies the same logical tuple for the lifetime of an
+/// experiment, and streaming ingestion only ever issues new, larger ids.
+/// TruncateTo() exists solely to roll back a failed multi-row append
+/// (all-or-nothing loads); it never removes rows another component has
+/// observed.
 using RowId = std::int32_t;
 
 /// An in-memory relational instance: the database D of the paper. Row-major
@@ -46,6 +50,19 @@ class Table {
   /// Appends a tuple given as strings (one per attribute, in schema order).
   /// Fails if the arity does not match.
   Result<RowId> AppendRow(const std::vector<std::string>& values);
+
+  /// Pre-sizes row storage for `num_rows` total rows (chunked ingestion
+  /// hint; never shrinks, never changes contents).
+  void Reserve(std::size_t num_rows) { rows_.reserve(num_rows); }
+
+  /// Drops every row with id >= num_rows, unwinding their value-support
+  /// counts. The rollback half of the growth contract: a failed multi-row
+  /// append truncates back to the pre-append size, so loads are
+  /// all-or-nothing. Values interned by the dropped rows stay in the
+  /// dictionaries (ids are never recycled), matching how Set() leaves
+  /// replaced values interned. No-op when the table is already at or below
+  /// `num_rows`.
+  void TruncateTo(std::size_t num_rows);
 
   /// Interned cell accessor.
   ValueId id_at(RowId row, AttrId attr) const {

@@ -25,6 +25,74 @@ std::size_t ConsistencyManager::Initialize() {
   return dirty_.size();
 }
 
+std::size_t ConsistencyManager::AdmitRows(RowId first_row, std::size_t count) {
+  const RuleSet& rules = index_->rules();
+  const std::size_t num_attrs = index_->table().num_attrs();
+  const std::size_t dirty_before = dirty_.size();
+
+  // New dirty rows get the full Initialize() treatment: one suggestion per
+  // attribute, row-major.
+  for (std::size_t i = 0; i < count; ++i) {
+    const RowId row = first_row + static_cast<RowId>(i);
+    if (!index_->IsDirty(row)) continue;
+    dirty_.insert(row);
+    for (std::size_t a = 0; a < num_attrs; ++a) {
+      const AttrId attr = static_cast<AttrId>(a);
+      if (auto update = generator_->UpdateAttributeTuple(row, attr)) {
+        pool_->Upsert(*update);
+      }
+    }
+  }
+
+  // Existing rows the arrivals pulled into (deeper) violation: the new
+  // rows' variable-rule partners. Constant rules cannot implicate anyone
+  // but the appended row itself. Note what is deliberately *not* refreshed:
+  // dirty rows that are no partner of any arrival keep their pooled
+  // suggestions verbatim — their violations did not change, so invariant
+  // (ii) holds without touching them (this is what "admission without
+  // rescoring untouched groups" rests on).
+  std::unordered_set<RowId> partners;
+  std::unordered_set<CellKey, CellKeyHash> revisit;
+  for (std::size_t i = 0; i < count; ++i) {
+    const RowId row = first_row + static_cast<RowId>(i);
+    for (std::size_t ridx = 0; ridx < rules.size(); ++ridx) {
+      const RuleId rid = static_cast<RuleId>(ridx);
+      const Cfd& rule = rules.rule(rid);
+      if (!rule.IsVariable() || !index_->Violates(row, rid)) continue;
+      partner_scratch_.clear();
+      index_->AppendViolationPartners(row, rid, &partner_scratch_);
+      for (RowId p : partner_scratch_) {
+        if (p >= first_row) continue;  // fellow arrivals were seeded above
+        partners.insert(p);
+        // The partner's suggestions on this rule's attributes were
+        // generated against the smaller group; regenerate (invariant (ii)).
+        for (const PatternCell& c : rule.lhs()) {
+          revisit.insert(CellKey{p, c.attr});
+        }
+        revisit.insert(CellKey{p, rule.rhs().attr});
+      }
+    }
+  }
+  for (const RowId p : partners) {
+    if (dirty_.contains(p)) continue;
+    // Appends only ever add violations, so a partner outside the dirty set
+    // is newly dirty: seed every attribute, like Initialize().
+    dirty_.insert(p);
+    for (std::size_t a = 0; a < num_attrs; ++a) {
+      revisit.insert(CellKey{p, static_cast<AttrId>(a)});
+    }
+  }
+  // Sorted order: regeneration itself is cell-independent, but a
+  // deterministic sweep keeps the whole admission replayable step by step.
+  std::vector<CellKey> cells(revisit.begin(), revisit.end());
+  std::sort(cells.begin(), cells.end(), [](const CellKey& a, const CellKey& b) {
+    return a.row != b.row ? a.row < b.row : a.attr < b.attr;
+  });
+  for (const CellKey& cell : cells) Revisit(cell);
+
+  return dirty_.size() - dirty_before;
+}
+
 void ConsistencyManager::Revisit(CellKey cell) {
   pool_->Remove(cell);
   if (auto update = generator_->UpdateAttributeTuple(cell.row, cell.attr)) {

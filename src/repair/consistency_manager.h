@@ -63,6 +63,18 @@ class ConsistencyManager {
   /// of Section 5.2).
   std::size_t Initialize();
 
+  /// Streaming admission: after rows [first_row, first_row + count) were
+  /// appended through ViolationIndex::AppendRows, restores both invariants
+  /// for the grown instance. New dirty rows are seeded exactly like
+  /// Initialize() (a suggestion per attribute); existing rows pulled into
+  /// violation by the arrivals — the appended rows' variable-rule partners
+  /// — join the dirty set, with suggestions seeded (newly dirty) or
+  /// refreshed on the affected rules' attributes (already dirty, whose
+  /// pooled evidence the new group members changed). Appends never clean
+  /// an existing row, so no pooled update is retired here. Returns the
+  /// number of rows that entered the dirty set.
+  std::size_t AdmitRows(RowId first_row, std::size_t count);
+
   /// Applies one unit of feedback for `update`. Returns the cell changes
   /// written to the database (empty for reject/retain; the confirmed change
   /// plus any forced cascade for confirm).

@@ -1,0 +1,73 @@
+#include "sim/stream_gen.h"
+
+#include <algorithm>
+
+#include "util/rng.h"
+
+namespace gdr {
+
+namespace {
+
+// Distinct states; the constant rules below assume city k maps to state
+// k % kStates in the clean stream.
+constexpr std::uint64_t kStates = 50;
+
+// SplitMix64 finalizer: decorrelates consecutive row indices so each row
+// gets an independent-looking generator stream from a single seed.
+std::uint64_t MixIndex(std::uint64_t seed, std::uint64_t index) {
+  std::uint64_t z = seed + 0x9E3779B97F4A7C15ULL * (index + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Result<Schema> StreamGenSchema() {
+  return Schema::Make({"Facility", "City", "Zip", "State", "Phone"});
+}
+
+Result<RuleSet> StreamGenRules(const StreamGenOptions& options) {
+  GDR_ASSIGN_OR_RETURN(Schema schema, StreamGenSchema());
+  RuleSet rules(std::move(schema));
+  GDR_RETURN_NOT_OK(rules.AddRuleFromString("v_city_zip", "City -> Zip"));
+  GDR_RETURN_NOT_OK(rules.AddRuleFromString("v_zip_city", "Zip -> City"));
+  const std::uint64_t constant_rules =
+      std::min<std::uint64_t>(options.cities, 8);
+  for (std::uint64_t k = 0; k < constant_rules; ++k) {
+    GDR_RETURN_NOT_OK(rules.AddRuleFromString(
+        "c_state" + std::to_string(k),
+        "City=C" + std::to_string(k) + " -> State=S" +
+            std::to_string(k % kStates)));
+  }
+  return rules;
+}
+
+void StreamGenRow(const StreamGenOptions& options, std::uint64_t index,
+                  std::vector<std::string>* out) {
+  Rng rng(MixIndex(options.seed, index));
+  const std::uint64_t cities = std::max<std::uint64_t>(options.cities, 1);
+  const std::uint64_t city = rng.NextBounded(cities);
+
+  out->clear();
+  out->reserve(5);
+  out->push_back("F" + std::to_string(index));
+  out->push_back("C" + std::to_string(city));
+  std::string zip = "Z" + std::to_string(city);
+  std::string state = "S" + std::to_string(city % kStates);
+  if (rng.NextBernoulli(options.dirty_fraction)) {
+    if (cities > 1 && rng.NextBernoulli(0.5)) {
+      // Neighboring city's zip: breaks City -> Zip here and drags that
+      // zip's group into violating Zip -> City.
+      zip = "Z" + std::to_string((city + 1) % cities);
+    } else {
+      // Off-by-one state: breaks the constant rule when this city has one.
+      state = "S" + std::to_string((city % kStates + 1) % kStates);
+    }
+  }
+  out->push_back(std::move(zip));
+  out->push_back(std::move(state));
+  out->push_back("P" + std::to_string(index));
+}
+
+}  // namespace gdr

@@ -1,0 +1,45 @@
+#ifndef GDR_SIM_STREAM_GEN_H_
+#define GDR_SIM_STREAM_GEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cfd/cfd.h"
+#include "data/schema.h"
+#include "util/result.h"
+
+namespace gdr {
+
+/// Parameterized million-row-scale generator for streaming-ingestion
+/// benchmarks and differential tests. Unlike the Figure-3 datasets it is
+/// defined *per row index*: StreamGenRow(options, i, ...) is a pure
+/// function of (options, i), so any chunking, arrival order, or partial
+/// materialization of the stream yields the same tuples — the property the
+/// incremental-vs-rebuild differential suite rests on.
+struct StreamGenOptions {
+  std::uint64_t records = 1'000'000;
+  /// Distinct cities; each city has one canonical zip/state, so violations
+  /// arise only from injected corruption.
+  std::uint64_t cities = 5'000;
+  /// Probability that a row is corrupted (zip swapped to a neighboring
+  /// city's, or state perturbed).
+  double dirty_fraction = 0.02;
+  std::uint64_t seed = 11;
+};
+
+/// {Facility, City, Zip, State, Phone}.
+Result<Schema> StreamGenSchema();
+
+/// Two variable CFDs (City -> Zip, Zip -> City) plus up to eight constant
+/// CFDs (City=C<k> -> State=S<k%50>) pinning the first cities' states.
+Result<RuleSet> StreamGenRules(const StreamGenOptions& options);
+
+/// Materializes row `index` of the stream into *out (arity 5, schema
+/// order). Deterministic in (options, index) only.
+void StreamGenRow(const StreamGenOptions& options, std::uint64_t index,
+                  std::vector<std::string>* out);
+
+}  // namespace gdr
+
+#endif  // GDR_SIM_STREAM_GEN_H_

@@ -19,61 +19,87 @@ Result<std::vector<std::string>> ParseCsvLine(std::string_view line) {
 }
 
 Result<std::vector<std::vector<std::string>>> ParseCsv(std::string_view text) {
+  // One state machine for the whole module: ParseCsv is the chunk parser
+  // fed the entire document as a single chunk.
   std::vector<std::vector<std::string>> rows;
-  std::vector<std::string> fields;
-  std::string current;
-  bool in_quotes = false;
-  bool record_active = false;  // a blank line never becomes a record
-  std::size_t i = 0;
-  auto end_record = [&] {
-    if (!record_active) return;
-    fields.push_back(std::move(current));
-    current.clear();
-    rows.push_back(std::move(fields));
-    fields.clear();
-    record_active = false;
-  };
-  while (i < text.size()) {
-    const char c = text[i];
-    if (in_quotes) {
+  CsvChunkParser parser;
+  GDR_RETURN_NOT_OK(parser.Consume(text, &rows));
+  GDR_RETURN_NOT_OK(parser.Finish(&rows));
+  return rows;
+}
+
+void CsvChunkParser::EndRecord(std::vector<std::vector<std::string>>* out) {
+  if (!record_active_) return;
+  fields_.push_back(std::move(current_));
+  current_.clear();
+  out->push_back(std::move(fields_));
+  fields_.clear();
+  record_active_ = false;
+  ++records_emitted_;
+}
+
+Status CsvChunkParser::Consume(std::string_view bytes,
+                               std::vector<std::vector<std::string>>* out) {
+  if (finished_) {
+    return Status::FailedPrecondition(
+        "CsvChunkParser::Consume called after Finish");
+  }
+  for (const char c : bytes) {
+    if (pending_quote_) {
+      // The previous byte was a quote inside a quoted field.
+      pending_quote_ = false;
       if (c == '"') {
-        if (i + 1 < text.size() && text[i + 1] == '"') {
-          current.push_back('"');
-          i += 2;
-          continue;
-        }
-        in_quotes = false;
-        ++i;
+        current_.push_back('"');  // escaped "" pair
+        continue;
+      }
+      in_quotes_ = false;  // it was the closer; reprocess c below
+    }
+    if (pending_cr_) {
+      pending_cr_ = false;
+      if (c == '\n') continue;  // the LF of a CRLF; the CR already ended
+                                // the record
+    }
+    if (in_quotes_) {
+      if (c == '"') {
+        pending_quote_ = true;
       } else {
         // Quoted content is preserved verbatim (including CR/LF), so any
         // cell value survives a write→read round trip byte-identically.
-        current.push_back(c);
-        ++i;
+        current_.push_back(c);
       }
     } else if (c == '\n' || c == '\r') {
       // LF, CRLF, and lone CR all terminate the record.
-      i += (c == '\r' && i + 1 < text.size() && text[i + 1] == '\n') ? 2 : 1;
-      end_record();
-    } else if (c == '"' && current.empty()) {
-      in_quotes = true;
-      record_active = true;
-      ++i;
+      pending_cr_ = c == '\r';
+      EndRecord(out);
+    } else if (c == '"' && current_.empty()) {
+      in_quotes_ = true;
+      record_active_ = true;
     } else if (c == ',') {
-      fields.push_back(std::move(current));
-      current.clear();
-      record_active = true;
-      ++i;
+      fields_.push_back(std::move(current_));
+      current_.clear();
+      record_active_ = true;
     } else {
-      current.push_back(c);
-      record_active = true;
-      ++i;
+      current_.push_back(c);
+      record_active_ = true;
     }
   }
-  if (in_quotes) {
+  return Status::OK();
+}
+
+Status CsvChunkParser::Finish(std::vector<std::vector<std::string>>* out) {
+  if (finished_) return Status::OK();
+  if (pending_quote_) {
+    // A quote as the very last byte of a quoted field closes it.
+    pending_quote_ = false;
+    in_quotes_ = false;
+  }
+  if (in_quotes_) {
     return Status::InvalidArgument("unterminated quoted CSV field");
   }
-  end_record();  // final record without a trailing newline
-  return rows;
+  pending_cr_ = false;
+  EndRecord(out);  // final record without a trailing newline
+  finished_ = true;
+  return Status::OK();
 }
 
 std::string FormatCsvLine(const std::vector<std::string>& fields) {

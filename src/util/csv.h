@@ -27,6 +27,45 @@ Result<std::vector<std::string>> ParseCsvLine(std::string_view line);
 /// Fails on an unterminated quoted field at end of input.
 Result<std::vector<std::vector<std::string>>> ParseCsv(std::string_view text);
 
+/// Incremental document parser: feed the document's bytes in arrival order
+/// through Consume() — in chunks of any size, split anywhere, including
+/// mid-field, mid-quote, or between the CR and LF of a CRLF — and complete
+/// records are appended to `out` as they close. Finish() flushes a final
+/// record without a trailing newline and fails on an unterminated quoted
+/// field. Record boundaries never depend on where the chunks were cut:
+/// for any split of `text`, Consume-ing the pieces then Finish-ing yields
+/// exactly ParseCsv(text). ParseCsv itself is implemented on top of this
+/// class, so the two cannot drift apart.
+class CsvChunkParser {
+ public:
+  /// Feeds one chunk; completed records are appended to `out` (which is
+  /// not cleared). Must not be called after Finish().
+  Status Consume(std::string_view bytes,
+                 std::vector<std::vector<std::string>>* out);
+
+  /// Signals end of input: flushes the final record (if any) to `out`.
+  /// Fails on an unterminated quoted field. Idempotent once it succeeds.
+  Status Finish(std::vector<std::vector<std::string>>* out);
+
+  /// Records completed so far (handy for "record N" error messages).
+  std::size_t records_emitted() const { return records_emitted_; }
+
+ private:
+  void EndRecord(std::vector<std::vector<std::string>>* out);
+
+  std::vector<std::string> fields_;  // completed fields of the open record
+  std::string current_;              // the open field
+  bool in_quotes_ = false;
+  bool record_active_ = false;  // a blank line never becomes a record
+  // Cross-chunk lookahead state: a quote seen inside a quoted field may be
+  // the closer or the first half of an escaped "" pair; a CR may be the
+  // first half of a CRLF. Both decisions are deferred to the next byte.
+  bool pending_quote_ = false;
+  bool pending_cr_ = false;
+  bool finished_ = false;
+  std::size_t records_emitted_ = 0;
+};
+
 /// Serializes fields into one CSV record (no trailing newline), quoting any
 /// field containing a comma, quote, or newline — and a lone empty field,
 /// which would otherwise render as a skippable blank line.

@@ -2,12 +2,14 @@
 
 #include <filesystem>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <vector>
 
 #include "sim/error_injector.h"
 #include "util/csv.h"
 #include "util/strings.h"
+#include "workload/row_stream.h"
 
 namespace gdr {
 
@@ -52,18 +54,6 @@ Status LoadRulesFile(const std::string& path, RuleSet* rules) {
   return Status::OK();
 }
 
-Status AppendCsvRows(Table* table,
-                     const std::vector<std::vector<std::string>>& rows,
-                     const std::string& path) {
-  for (std::size_t r = 1; r < rows.size(); ++r) {
-    if (const auto added = table->AppendRow(rows[r]); !added.ok()) {
-      return Status::InvalidArgument(path + " record " + std::to_string(r) +
-                                     ": " + added.status().message());
-    }
-  }
-  return Status::OK();
-}
-
 Result<Dataset> LoadFromFiles(const WorkloadSpec& spec) {
   GDR_RETURN_NOT_OK(spec.RejectUnknownKeys(
       {"clean", "dirty", "rules", "name", "errors", "dirty_fraction",
@@ -102,18 +92,25 @@ Result<Dataset> LoadFromFiles(const WorkloadSpec& spec) {
         "errors=random");
   }
 
-  GDR_ASSIGN_OR_RETURN(const auto clean_rows, ReadCsvFile(*clean_path));
-  if (clean_rows.size() < 2) {
-    return Status::InvalidArgument(
-        *clean_path + ": need a header record plus at least one data record");
-  }
-  GDR_ASSIGN_OR_RETURN(Schema schema, Schema::Make(clean_rows[0]));
+  // Chunked ingestion: the file is streamed through CsvRowStream rather
+  // than slurped, and AppendStream makes the load all-or-nothing — a
+  // truncated or malformed file leaves dataset.clean empty instead of
+  // partially populated.
+  GDR_ASSIGN_OR_RETURN(const std::unique_ptr<CsvRowStream> clean_stream,
+                       CsvRowStream::Open(*clean_path));
+  const std::vector<std::string> header = clean_stream->header();
+  GDR_ASSIGN_OR_RETURN(Schema schema, Schema::Make(header));
   Dataset dataset(schema);
   GDR_ASSIGN_OR_RETURN(
       dataset.name,
       spec.GetString("name",
                      std::filesystem::path(*clean_path).stem().string()));
-  GDR_RETURN_NOT_OK(AppendCsvRows(&dataset.clean, clean_rows, *clean_path));
+  GDR_ASSIGN_OR_RETURN(const std::size_t clean_count,
+                       AppendStream(clean_stream.get(), &dataset.clean));
+  if (clean_count < 1) {
+    return Status::InvalidArgument(
+        *clean_path + ": need a header record plus at least one data record");
+  }
 
   // The dirty instance always starts as a copy of the clean one (shared
   // value dictionaries) with per-cell edits applied row-major — the same
@@ -121,34 +118,50 @@ Result<Dataset> LoadFromFiles(const WorkloadSpec& spec) {
   // round-trips bit-identical downstream.
   dataset.dirty = dataset.clean;
   if (dirty_path != nullptr) {
-    GDR_ASSIGN_OR_RETURN(const auto dirty_rows, ReadCsvFile(*dirty_path));
-    if (dirty_rows.empty() || dirty_rows[0] != clean_rows[0]) {
+    GDR_ASSIGN_OR_RETURN(const std::unique_ptr<CsvRowStream> dirty_stream,
+                         CsvRowStream::Open(*dirty_path));
+    if (dirty_stream->header() != header) {
       return Status::InvalidArgument(
           *dirty_path + ": header must match " + *clean_path + " exactly");
     }
-    if (dirty_rows.size() != clean_rows.size()) {
-      return Status::InvalidArgument(
-          *dirty_path + ": row count " + std::to_string(dirty_rows.size() - 1) +
-          " does not match " + *clean_path + " (" +
-          std::to_string(clean_rows.size() - 1) + ")");
-    }
-    for (std::size_t r = 1; r < dirty_rows.size(); ++r) {
-      if (dirty_rows[r].size() != schema.num_attrs()) {
-        return Status::InvalidArgument(
-            *dirty_path + " record " + std::to_string(r) + ": expected " +
-            std::to_string(schema.num_attrs()) + " fields, got " +
-            std::to_string(dirty_rows[r].size()));
-      }
-      const RowId row = static_cast<RowId>(r - 1);
-      bool row_corrupted = false;
-      for (std::size_t a = 0; a < schema.num_attrs(); ++a) {
-        const AttrId attr = static_cast<AttrId>(a);
-        if (dirty_rows[r][a] != clean_rows[r][a]) {
-          dataset.dirty.Set(row, attr, dirty_rows[r][a]);
-          row_corrupted = true;
+    std::size_t row_count = 0;
+    std::vector<std::vector<std::string>> chunk;
+    while (true) {
+      chunk.clear();
+      GDR_ASSIGN_OR_RETURN(
+          const std::size_t pulled,
+          dirty_stream->NextChunk(kDefaultStreamChunk, &chunk));
+      if (pulled == 0) break;
+      if (row_count + pulled > clean_count) {
+        row_count += pulled;
+        // Keep draining just to report the real row count in the error.
+        while (true) {
+          chunk.clear();
+          const auto more =
+              dirty_stream->NextChunk(kDefaultStreamChunk, &chunk);
+          if (!more.ok() || *more == 0) break;
+          row_count += *more;
         }
+        break;
       }
-      if (row_corrupted) ++dataset.corrupted_tuples;
+      for (const std::vector<std::string>& dirty_row : chunk) {
+        const RowId row = static_cast<RowId>(row_count++);
+        bool row_corrupted = false;
+        for (std::size_t a = 0; a < schema.num_attrs(); ++a) {
+          const AttrId attr = static_cast<AttrId>(a);
+          if (dirty_row[a] != dataset.clean.at(row, attr)) {
+            dataset.dirty.Set(row, attr, dirty_row[a]);
+            row_corrupted = true;
+          }
+        }
+        if (row_corrupted) ++dataset.corrupted_tuples;
+      }
+    }
+    if (row_count != clean_count) {
+      return Status::InvalidArgument(
+          *dirty_path + ": row count " + std::to_string(row_count) +
+          " does not match " + *clean_path + " (" +
+          std::to_string(clean_count) + ")");
     }
   } else {
     if (*errors != "random") {

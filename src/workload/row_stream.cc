@@ -1,0 +1,192 @@
+#include "workload/row_stream.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace gdr {
+
+namespace {
+
+// Bytes per read: large enough that parsing dominates syscall overhead,
+// small enough to keep the resident buffer trivial at any file size.
+constexpr std::size_t kReadChunkBytes = 64 * 1024;
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// CsvRowStream
+// ---------------------------------------------------------------------------
+
+Result<std::unique_ptr<CsvRowStream>> CsvRowStream::Open(
+    const std::string& path) {
+  std::unique_ptr<CsvRowStream> stream(new CsvRowStream(path));
+  stream->in_.open(path, std::ios::binary);
+  if (!stream->in_) {
+    return Status::IOError("cannot open CSV file " + path);
+  }
+  while (stream->pending_.empty() && !stream->eof_) {
+    GDR_RETURN_NOT_OK(stream->Fill());
+  }
+  if (stream->pending_.empty()) {
+    return Status::InvalidArgument(path + ": empty CSV (no header record)");
+  }
+  stream->header_ = std::move(stream->pending_.front());
+  stream->pending_pos_ = 1;
+  // Diagnostics number physical records, header included, so "record N"
+  // matches the Nth line of a file without embedded newlines.
+  stream->next_record_ = 2;
+  return stream;
+}
+
+Status CsvRowStream::Fill() {
+  char buffer[kReadChunkBytes];
+  in_.read(buffer, static_cast<std::streamsize>(kReadChunkBytes));
+  const std::streamsize got = in_.gcount();
+  if (got > 0) {
+    if (const Status consumed = parser_.Consume(
+            std::string_view(buffer, static_cast<std::size_t>(got)),
+            &pending_);
+        !consumed.ok()) {
+      return Status::InvalidArgument(path_ + ": " + consumed.message());
+    }
+  }
+  if (got < static_cast<std::streamsize>(kReadChunkBytes)) {
+    if (in_.bad()) return Status::IOError("read failed for " + path_);
+    if (const Status finished = parser_.Finish(&pending_); !finished.ok()) {
+      return Status::InvalidArgument(path_ + ": " + finished.message());
+    }
+    eof_ = true;
+  }
+  return Status::OK();
+}
+
+Result<std::size_t> CsvRowStream::NextChunk(
+    std::size_t max_rows, std::vector<std::vector<std::string>>* out) {
+  // Drop already-delivered rows before buffering more, so the resident
+  // window never exceeds one chunk plus one read's worth of records.
+  if (pending_pos_ > 0) {
+    pending_.erase(pending_.begin(),
+                   pending_.begin() + static_cast<std::ptrdiff_t>(pending_pos_));
+    pending_pos_ = 0;
+  }
+  while (pending_.size() < max_rows && !eof_) {
+    GDR_RETURN_NOT_OK(Fill());
+  }
+  const std::size_t count = std::min(max_rows, pending_.size());
+  for (std::size_t i = 0; i < count; ++i) {
+    if (pending_[i].size() != header_.size()) {
+      return Status::InvalidArgument(
+          path_ + " record " + std::to_string(next_record_ + i) +
+          ": expected " + std::to_string(header_.size()) + " fields, got " +
+          std::to_string(pending_[i].size()));
+    }
+    out->push_back(std::move(pending_[i]));
+  }
+  pending_pos_ = count;
+  next_record_ += count;
+  return count;
+}
+
+// ---------------------------------------------------------------------------
+// TableRowStream / VectorRowStream / GeneratorRowStream
+// ---------------------------------------------------------------------------
+
+TableRowStream::TableRowStream(const Table* table) : table_(table) {
+  header_ = table_->schema().attribute_names();
+}
+
+Result<std::size_t> TableRowStream::NextChunk(
+    std::size_t max_rows, std::vector<std::vector<std::string>>* out) {
+  const std::size_t count =
+      std::min(max_rows, table_->num_rows() - next_row_);
+  for (std::size_t i = 0; i < count; ++i) {
+    const RowId row = static_cast<RowId>(next_row_ + i);
+    std::vector<std::string> values;
+    values.reserve(table_->num_attrs());
+    for (std::size_t a = 0; a < table_->num_attrs(); ++a) {
+      values.push_back(table_->at(row, static_cast<AttrId>(a)));
+    }
+    out->push_back(std::move(values));
+  }
+  next_row_ += count;
+  return count;
+}
+
+VectorRowStream::VectorRowStream(std::vector<std::string> header,
+                                 std::vector<std::vector<std::string>> rows)
+    : rows_(std::move(rows)) {
+  header_ = std::move(header);
+}
+
+Result<std::size_t> VectorRowStream::NextChunk(
+    std::size_t max_rows, std::vector<std::vector<std::string>>* out) {
+  const std::size_t count = std::min(max_rows, rows_.size() - next_row_);
+  for (std::size_t i = 0; i < count; ++i) {
+    out->push_back(std::move(rows_[next_row_ + i]));
+  }
+  next_row_ += count;
+  return count;
+}
+
+GeneratorRowStream::GeneratorRowStream(std::vector<std::string> header,
+                                       std::uint64_t count, RowFn fn)
+    : count_(count), fn_(std::move(fn)) {
+  header_ = std::move(header);
+}
+
+Result<std::size_t> GeneratorRowStream::NextChunk(
+    std::size_t max_rows, std::vector<std::vector<std::string>>* out) {
+  const std::uint64_t count =
+      std::min<std::uint64_t>(max_rows, count_ - next_index_);
+  std::vector<std::string> row;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    fn_(next_index_ + i, &row);
+    out->push_back(row);
+  }
+  next_index_ += count;
+  return static_cast<std::size_t>(count);
+}
+
+Result<std::unique_ptr<RowStream>> MakeStreamGenStream(
+    const StreamGenOptions& options) {
+  GDR_ASSIGN_OR_RETURN(const Schema schema, StreamGenSchema());
+  return std::unique_ptr<RowStream>(new GeneratorRowStream(
+      schema.attribute_names(), options.records,
+      [options](std::uint64_t index, std::vector<std::string>* out) {
+        StreamGenRow(options, index, out);
+      }));
+}
+
+// ---------------------------------------------------------------------------
+// AppendStream
+// ---------------------------------------------------------------------------
+
+Result<std::size_t> AppendStream(RowStream* stream, Table* table,
+                                 std::size_t chunk_rows) {
+  if (chunk_rows == 0) {
+    return Status::InvalidArgument("AppendStream needs chunk_rows >= 1");
+  }
+  const std::size_t rows_before = table->num_rows();
+  std::vector<std::vector<std::string>> chunk;
+  while (true) {
+    chunk.clear();
+    const Result<std::size_t> pulled = stream->NextChunk(chunk_rows, &chunk);
+    if (!pulled.ok()) {
+      table->TruncateTo(rows_before);
+      return pulled.status();
+    }
+    if (*pulled == 0) break;
+    for (const std::vector<std::string>& row : chunk) {
+      if (const auto appended = table->AppendRow(row); !appended.ok()) {
+        const std::size_t record =
+            table->num_rows() - rows_before + 1;  // 1-based data record
+        table->TruncateTo(rows_before);
+        return Status::InvalidArgument("record " + std::to_string(record) +
+                                       ": " + appended.status().message());
+      }
+    }
+  }
+  return table->num_rows() - rows_before;
+}
+
+}  // namespace gdr

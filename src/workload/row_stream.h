@@ -1,0 +1,139 @@
+#ifndef GDR_WORKLOAD_ROW_STREAM_H_
+#define GDR_WORKLOAD_ROW_STREAM_H_
+
+#include <cstdint>
+#include <fstream>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/table.h"
+#include "sim/stream_gen.h"
+#include "util/csv.h"
+#include "util/result.h"
+
+namespace gdr {
+
+/// Default rows-per-chunk for stream consumers. Big enough to amortize the
+/// per-chunk call overhead, small enough that a chunk of wide string rows
+/// stays cache- and allocator-friendly.
+inline constexpr std::size_t kDefaultStreamChunk = 4096;
+
+/// A pull-based source of rows sharing one schema: the ingestion-side
+/// counterpart of GdrSession's pull-based feedback loop. Consumers drain it
+/// chunk by chunk (CSV files are parsed incrementally — the file is never
+/// slurped), so million-row sources never materialize in memory at once.
+///
+/// Contract: header() is the attribute-name record and is available from
+/// construction; every delivered row has header().size() fields; after
+/// NextChunk() first returns 0 the stream is exhausted and stays so.
+class RowStream {
+ public:
+  virtual ~RowStream() = default;
+
+  const std::vector<std::string>& header() const { return header_; }
+
+  /// Appends up to `max_rows` rows to *out (which is not cleared) and
+  /// returns how many were appended; 0 means the stream is exhausted.
+  virtual Result<std::size_t> NextChunk(
+      std::size_t max_rows, std::vector<std::vector<std::string>>* out) = 0;
+
+ protected:
+  std::vector<std::string> header_;
+};
+
+/// Streams a CSV file through CsvChunkParser in fixed-size byte chunks.
+/// Record 0 is the header; arity errors and malformed CSV are reported
+/// with the physical record number (header = record 1) and the path.
+class CsvRowStream : public RowStream {
+ public:
+  /// Opens `path` and parses up to the header record. Fails if the file
+  /// cannot be opened or holds no record at all.
+  static Result<std::unique_ptr<CsvRowStream>> Open(const std::string& path);
+
+  Result<std::size_t> NextChunk(
+      std::size_t max_rows,
+      std::vector<std::vector<std::string>>* out) override;
+
+ private:
+  explicit CsvRowStream(std::string path) : path_(std::move(path)) {}
+
+  // Reads and parses more bytes; sets eof_ after Finish().
+  Status Fill();
+
+  std::string path_;
+  std::ifstream in_;
+  CsvChunkParser parser_;
+  std::vector<std::vector<std::string>> pending_;
+  std::size_t pending_pos_ = 0;   // rows [0, pending_pos_) already delivered
+  std::size_t next_record_ = 0;   // file record number of pending_[pos]
+  bool eof_ = false;
+};
+
+/// Streams an in-memory Table (header = schema attribute names): lets any
+/// materialized workload feed the streaming ingestion path.
+class TableRowStream : public RowStream {
+ public:
+  explicit TableRowStream(const Table* table);
+
+  Result<std::size_t> NextChunk(
+      std::size_t max_rows,
+      std::vector<std::vector<std::string>>* out) override;
+
+ private:
+  const Table* table_;
+  std::size_t next_row_ = 0;
+};
+
+/// Streams a fixed vector of rows; test fixture for arrival-order and
+/// chunk-size sweeps.
+class VectorRowStream : public RowStream {
+ public:
+  VectorRowStream(std::vector<std::string> header,
+                  std::vector<std::vector<std::string>> rows);
+
+  Result<std::size_t> NextChunk(
+      std::size_t max_rows,
+      std::vector<std::vector<std::string>>* out) override;
+
+ private:
+  std::vector<std::vector<std::string>> rows_;
+  std::size_t next_row_ = 0;
+};
+
+/// Adapts a per-index row function (row i is a pure function of i) into a
+/// stream of `count` rows. Because rows depend only on their index, every
+/// chunking of the stream produces identical content.
+class GeneratorRowStream : public RowStream {
+ public:
+  using RowFn = std::function<void(std::uint64_t index,
+                                   std::vector<std::string>* out)>;
+
+  GeneratorRowStream(std::vector<std::string> header, std::uint64_t count,
+                     RowFn fn);
+
+  Result<std::size_t> NextChunk(
+      std::size_t max_rows,
+      std::vector<std::vector<std::string>>* out) override;
+
+ private:
+  std::uint64_t count_;
+  std::uint64_t next_index_ = 0;
+  RowFn fn_;
+};
+
+/// The sim/stream_gen generator as a stream (options.records rows).
+Result<std::unique_ptr<RowStream>> MakeStreamGenStream(
+    const StreamGenOptions& options);
+
+/// Drains `stream` into `table`, `chunk_rows` rows at a time, and returns
+/// the number of rows appended. All-or-nothing: any stream or append error
+/// rolls the table back to its pre-call size (Table::TruncateTo), so a
+/// truncated or malformed source never leaves a partially-loaded table.
+Result<std::size_t> AppendStream(RowStream* stream, Table* table,
+                                 std::size_t chunk_rows = kDefaultStreamChunk);
+
+}  // namespace gdr
+
+#endif  // GDR_WORKLOAD_ROW_STREAM_H_

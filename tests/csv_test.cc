@@ -202,5 +202,87 @@ TEST(CsvTest, WriteCsvLineMatchesFormat) {
   EXPECT_EQ(out.str(), "a,\"with,comma\",\"q\"\"q\"\n");
 }
 
+// A corpus whose correct parse depends on lookahead across every byte
+// boundary: escaped "" pairs, a CRLF, a quoted field spanning records,
+// empty fields, and no trailing newline on the final record.
+constexpr std::string_view kTrickyCsv =
+    "a,\"say \"\"hi\"\"\",\r\n"
+    "\"two\r\nlines\",x,\"\"\n"
+    "\n"
+    ",,\n"
+    "last,\"q\"\"q\",z";
+
+std::vector<std::vector<std::string>> ParseInChunks(
+    std::string_view text, const std::vector<std::size_t>& cuts) {
+  CsvChunkParser parser;
+  std::vector<std::vector<std::string>> rows;
+  std::size_t start = 0;
+  for (std::size_t cut : cuts) {
+    EXPECT_TRUE(parser.Consume(text.substr(start, cut - start), &rows).ok());
+    start = cut;
+  }
+  EXPECT_TRUE(parser.Consume(text.substr(start), &rows).ok());
+  EXPECT_TRUE(parser.Finish(&rows).ok());
+  return rows;
+}
+
+TEST(CsvChunkParserTest, ByteAtATimeMatchesParseCsv) {
+  const auto whole = ParseCsv(kTrickyCsv);
+  ASSERT_TRUE(whole.ok());
+  std::vector<std::size_t> every_byte;
+  for (std::size_t i = 1; i < kTrickyCsv.size(); ++i) every_byte.push_back(i);
+  EXPECT_EQ(ParseInChunks(kTrickyCsv, every_byte), *whole);
+}
+
+TEST(CsvChunkParserTest, EverySingleSplitPointMatchesParseCsv) {
+  const auto whole = ParseCsv(kTrickyCsv);
+  ASSERT_TRUE(whole.ok());
+  for (std::size_t cut = 0; cut <= kTrickyCsv.size(); ++cut) {
+    EXPECT_EQ(ParseInChunks(kTrickyCsv, {cut}), *whole)
+        << "split at byte " << cut;
+  }
+}
+
+TEST(CsvChunkParserTest, EmptyChunksAreHarmless) {
+  const auto whole = ParseCsv(kTrickyCsv);
+  ASSERT_TRUE(whole.ok());
+  CsvChunkParser parser;
+  std::vector<std::vector<std::string>> rows;
+  ASSERT_TRUE(parser.Consume("", &rows).ok());
+  ASSERT_TRUE(parser.Consume(kTrickyCsv, &rows).ok());
+  ASSERT_TRUE(parser.Consume("", &rows).ok());
+  ASSERT_TRUE(parser.Finish(&rows).ok());
+  EXPECT_EQ(rows, *whole);
+}
+
+TEST(CsvChunkParserTest, RecordsEmittedCountsClosedRecords) {
+  CsvChunkParser parser;
+  std::vector<std::vector<std::string>> rows;
+  ASSERT_TRUE(parser.Consume("a,b\nc,", &rows).ok());
+  EXPECT_EQ(parser.records_emitted(), 1u);  // "c," is still open
+  ASSERT_TRUE(parser.Finish(&rows).ok());
+  EXPECT_EQ(parser.records_emitted(), 2u);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"c", ""}));
+}
+
+TEST(CsvChunkParserTest, UnterminatedQuoteFailsAtFinish) {
+  CsvChunkParser parser;
+  std::vector<std::vector<std::string>> rows;
+  ASSERT_TRUE(parser.Consume("a,\"open", &rows).ok());
+  const Status finish = parser.Finish(&rows);
+  EXPECT_FALSE(finish.ok());
+  EXPECT_EQ(finish.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CsvChunkParserTest, ConsumeAfterFinishFails) {
+  CsvChunkParser parser;
+  std::vector<std::vector<std::string>> rows;
+  ASSERT_TRUE(parser.Consume("a\n", &rows).ok());
+  ASSERT_TRUE(parser.Finish(&rows).ok());
+  ASSERT_TRUE(parser.Finish(&rows).ok());  // idempotent once successful
+  EXPECT_FALSE(parser.Consume("b\n", &rows).ok());
+}
+
 }  // namespace
 }  // namespace gdr

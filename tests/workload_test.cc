@@ -15,6 +15,7 @@
 #include "sim/dataset2.h"
 #include "workload/file_workload.h"
 #include "workload/registry.h"
+#include "workload/row_stream.h"
 
 namespace gdr {
 namespace {
@@ -347,6 +348,164 @@ TEST_F(CsvWorkloadTest, AutoNamedRulesAndCrlfFilesLoad) {
   EXPECT_EQ(dataset->rules.size(), 1u);
   EXPECT_EQ(dataset->rules.rule(0).name(), "r1");
   EXPECT_EQ(dataset->corrupted_tuples, 1u);
+}
+
+TEST_F(CsvWorkloadTest, TruncatedDirtyRecordFailsWithRecordNumber) {
+  // Record 3 of dirty.csv is cut short mid-row (a truncated download).
+  WriteFile(dir_ / "dirty.csv",
+            "A,B,ZIP\n"
+            "x,u,1\n"
+            "y,v\n");
+  const auto dataset = WorkloadRegistry::Global().Resolve(Spec());
+  ASSERT_FALSE(dataset.ok());
+  EXPECT_NE(dataset.status().message().find("record 3"), std::string::npos)
+      << dataset.status().message();
+  EXPECT_NE(dataset.status().message().find("dirty.csv"), std::string::npos);
+}
+
+TEST_F(CsvWorkloadTest, TruncatedCleanRecordLeavesNoPartialLoad) {
+  WriteFile(dir_ / "clean.csv",
+            "A,B,ZIP\n"
+            "x,u,1\n"
+            "y\n"
+            "y,w,2\n");
+  const auto dataset = WorkloadRegistry::Global().Resolve(Spec());
+  ASSERT_FALSE(dataset.ok());
+  EXPECT_NE(dataset.status().message().find("record 3"), std::string::npos);
+  EXPECT_NE(dataset.status().message().find("clean.csv"), std::string::npos);
+}
+
+TEST_F(CsvWorkloadTest, UnterminatedQuoteInDirtyFails) {
+  WriteFile(dir_ / "dirty.csv",
+            "A,B,ZIP\n"
+            "x,u,1\n"
+            "y,\"oops,9\n"
+            "y,w,2\n");
+  const auto dataset = WorkloadRegistry::Global().Resolve(Spec());
+  ASSERT_FALSE(dataset.ok());
+  EXPECT_NE(dataset.status().message().find("quote"), std::string::npos)
+      << dataset.status().message();
+}
+
+TEST_F(CsvWorkloadTest, HeaderOnlyCleanFileFails) {
+  WriteFile(dir_ / "clean.csv", "A,B,ZIP\n");
+  const auto dataset = WorkloadRegistry::Global().Resolve(Spec());
+  ASSERT_FALSE(dataset.ok());
+  EXPECT_NE(dataset.status().message().find("data record"), std::string::npos);
+}
+
+TEST_F(CsvWorkloadTest, LongerDirtyFileReportsRealRowCounts) {
+  WriteFile(dir_ / "dirty.csv",
+            "A,B,ZIP\n"
+            "x,u,1\n"
+            "y,v,9\n"
+            "y,w,2\n"
+            "z,z,3\n");  // one row too many
+  const auto dataset = WorkloadRegistry::Global().Resolve(Spec());
+  ASSERT_FALSE(dataset.ok());
+  EXPECT_NE(dataset.status().message().find("row count"), std::string::npos);
+  // The real counts, not where the diff loop happened to stop.
+  EXPECT_NE(dataset.status().message().find("4"), std::string::npos);
+  EXPECT_NE(dataset.status().message().find("3"), std::string::npos);
+}
+
+// -------------------------------------------------------- row stream ----
+
+class RowStreamTest : public ::testing::Test {
+ protected:
+  void SetUp() override { dir_ = TempDir("gdr_row_stream_test"); }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::filesystem::path dir_;
+};
+
+TEST_F(RowStreamTest, CsvStreamDeliversAllRecordsAcrossChunkSizes) {
+  WriteFile(dir_ / "t.csv", "A,B\n1,2\n3,4\n5,6\n7,8\n");
+  for (std::size_t chunk : {1u, 2u, 3u, 100u}) {
+    auto stream = CsvRowStream::Open((dir_ / "t.csv").string());
+    ASSERT_TRUE(stream.ok());
+    EXPECT_EQ((*stream)->header(), (std::vector<std::string>{"A", "B"}));
+    std::vector<std::vector<std::string>> all;
+    while (true) {
+      std::vector<std::vector<std::string>> rows;
+      const auto pulled = (*stream)->NextChunk(chunk, &rows);
+      ASSERT_TRUE(pulled.ok());
+      if (*pulled == 0) break;
+      for (auto& row : rows) all.push_back(std::move(row));
+    }
+    ASSERT_EQ(all.size(), 4u) << "chunk size " << chunk;
+    EXPECT_EQ(all[0], (std::vector<std::string>{"1", "2"}));
+    EXPECT_EQ(all[3], (std::vector<std::string>{"7", "8"}));
+  }
+}
+
+TEST_F(RowStreamTest, AppendStreamRollsBackOnMidStreamArityError) {
+  WriteFile(dir_ / "bad.csv", "A,B\n1,2\n3,4\nonly-one-field\n5,6\n");
+  auto schema = Schema::Make({"A", "B"});
+  ASSERT_TRUE(schema.ok());
+  Table table(*schema);
+  ASSERT_TRUE(table.AppendRow({"pre", "loaded"}).ok());
+
+  auto stream = CsvRowStream::Open((dir_ / "bad.csv").string());
+  ASSERT_TRUE(stream.ok());
+  // Chunk of 1 forces the failure to surface after good rows were already
+  // appended — exactly the partial-load hazard AppendStream must undo.
+  const auto appended = AppendStream(stream->get(), &table, /*chunk_rows=*/1);
+  ASSERT_FALSE(appended.ok());
+  EXPECT_NE(appended.status().message().find("record 4"), std::string::npos)
+      << appended.status().message();
+  EXPECT_EQ(table.num_rows(), 1u);  // all-or-nothing
+  EXPECT_EQ(table.at(0, 0), "pre");
+}
+
+TEST_F(RowStreamTest, AppendStreamRollsBackOnUnterminatedQuote) {
+  // Enough valid rows to overflow the reader's 64 KiB window, so Open()
+  // succeeds and the bad final record only surfaces mid-stream — after
+  // thousands of rows were already appended and must be rolled back.
+  std::string csv = "A,B\n";
+  for (int i = 0; i < 10'000; ++i) {
+    csv += std::to_string(i) + ",ok\n";
+  }
+  csv += "\"open,4\n";
+  WriteFile(dir_ / "bad.csv", csv);
+  auto schema = Schema::Make({"A", "B"});
+  ASSERT_TRUE(schema.ok());
+  Table table(*schema);
+  auto stream = CsvRowStream::Open((dir_ / "bad.csv").string());
+  ASSERT_TRUE(stream.ok());
+  const auto appended = AppendStream(stream->get(), &table, /*chunk_rows=*/64);
+  ASSERT_FALSE(appended.ok());
+  EXPECT_NE(appended.status().message().find("quote"), std::string::npos)
+      << appended.status().message();
+  EXPECT_EQ(table.num_rows(), 0u);
+}
+
+TEST_F(RowStreamTest, VectorStreamArityMismatchRollsBack) {
+  auto schema = Schema::Make({"A", "B"});
+  ASSERT_TRUE(schema.ok());
+  Table table(*schema);
+  VectorRowStream stream({"A", "B"}, {{"1", "2"}, {"3", "4", "5"}});
+  const auto appended = AppendStream(&stream, &table, /*chunk_rows=*/1);
+  ASSERT_FALSE(appended.ok());
+  EXPECT_EQ(table.num_rows(), 0u);
+}
+
+TEST_F(RowStreamTest, TableStreamRoundTripsRows) {
+  auto schema = Schema::Make({"A", "B"});
+  ASSERT_TRUE(schema.ok());
+  Table source(*schema);
+  ASSERT_TRUE(source.AppendRow({"1", "2"}).ok());
+  ASSERT_TRUE(source.AppendRow({"3", "4"}).ok());
+  Table sink(*schema);
+  TableRowStream stream(&source);
+  const auto appended = AppendStream(&stream, &sink);
+  ASSERT_TRUE(appended.ok());
+  EXPECT_EQ(*appended, 2u);
+  EXPECT_EQ(*sink.CountDifferingCells(source), 0u);
+}
+
+TEST_F(RowStreamTest, EmptyCsvFileFailsToOpen) {
+  WriteFile(dir_ / "empty.csv", "");
+  EXPECT_FALSE(CsvRowStream::Open((dir_ / "empty.csv").string()).ok());
 }
 
 // ---------------------------------------------------------- exporter ----
