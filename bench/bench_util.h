@@ -10,6 +10,7 @@
 
 #include "sim/dataset.h"
 #include "util/result.h"
+#include "util/strings.h"
 #include "workload/registry.h"
 
 namespace gdr::bench {
@@ -19,14 +20,35 @@ class Flags {
  public:
   Flags(int argc, char** argv) : argc_(argc), argv_(argv) {}
 
+  /// Numeric flags are parsed checked (util/strings.h): "--rows=12x" or an
+  /// out-of-range magnitude aborts the run with usage exit code 2 instead
+  /// of silently benchmarking a truncated atoll/atof value.
   std::int64_t GetInt(std::string_view name, std::int64_t default_value) const {
     const std::string value = GetRaw(name);
-    return value.empty() ? default_value : std::atoll(value.c_str());
+    if (value.empty()) return default_value;
+    const Result<std::int64_t> parsed =
+        ParseInt64(value, "--" + std::string(name));
+    if (!parsed.ok()) FailUsage(parsed.status());
+    return *parsed;
+  }
+
+  std::uint64_t GetUint(std::string_view name,
+                        std::uint64_t default_value) const {
+    const std::string value = GetRaw(name);
+    if (value.empty()) return default_value;
+    const Result<std::uint64_t> parsed =
+        ParseUint64(value, "--" + std::string(name));
+    if (!parsed.ok()) FailUsage(parsed.status());
+    return *parsed;
   }
 
   double GetDouble(std::string_view name, double default_value) const {
     const std::string value = GetRaw(name);
-    return value.empty() ? default_value : std::atof(value.c_str());
+    if (value.empty()) return default_value;
+    const Result<double> parsed =
+        ParseDouble(value, "--" + std::string(name));
+    if (!parsed.ok()) FailUsage(parsed.status());
+    return *parsed;
   }
 
   std::string GetString(std::string_view name,
@@ -50,6 +72,11 @@ class Flags {
   }
 
  private:
+  [[noreturn]] static void FailUsage(const Status& status) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    std::exit(2);
+  }
+
   std::string GetRaw(std::string_view name) const {
     const std::string prefix = "--" + std::string(name) + "=";
     for (int i = 1; i < argc_; ++i) {

@@ -17,6 +17,7 @@
 #include "core/quality.h"
 #include "sim/cfd_discovery.h"
 #include "sim/oracle.h"
+#include "util/strings.h"
 #include "workload/registry.h"
 
 using namespace gdr;
@@ -27,7 +28,12 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--records=", 0) == 0) {
-      records = static_cast<std::size_t>(std::atoll(arg.c_str() + 10));
+      const auto parsed = ParseUint64(arg.substr(10), "--records");
+      if (!parsed.ok()) {
+        std::fprintf(stderr, "%s\n", parsed.status().ToString().c_str());
+        return 2;
+      }
+      records = static_cast<std::size_t>(*parsed);
     } else if (arg.rfind("--workload=", 0) == 0) {
       spec = arg.substr(std::string("--workload=").size());
     }

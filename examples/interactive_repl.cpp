@@ -31,6 +31,7 @@
 #include <string>
 
 #include "core/session.h"
+#include "util/fileio.h"
 #include "workload/registry.h"
 
 using namespace gdr;
@@ -212,13 +213,15 @@ int main(int argc, char** argv) {
     }
   }
   if (quit) {
-    std::ofstream out(snapshot_path, std::ios::binary);
-    out << "workload " << workload_spec << '\n'
-        << session.Snapshot().Serialize();
-    out.flush();
-    if (!out.good()) {
-      std::fprintf(stderr, "\nfailed to write snapshot to %s — the session "
-                   "could not be saved\n", snapshot_path.c_str());
+    // Crash-safe save: a kill mid-write must leave the previous snapshot
+    // intact, never a truncated prefix that fails to deserialize.
+    const Status written = WriteFileAtomic(
+        snapshot_path,
+        "workload " + workload_spec + '\n' + session.Snapshot().Serialize());
+    if (!written.ok()) {
+      std::fprintf(stderr, "\nfailed to write snapshot to %s (%s) — the "
+                   "session could not be saved\n", snapshot_path.c_str(),
+                   written.ToString().c_str());
       return 1;
     }
     std::printf("\nsession snapshotted to %s — relaunch to resume\n",

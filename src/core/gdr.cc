@@ -69,10 +69,14 @@ Status GdrEngine::Initialize() {
   bank_ = std::make_unique<LearnerBank>(table_, index_.get(), learner_options);
 
   weights_ = ContextRuleWeights(*index_);
-  const std::size_t threads =
-      ThreadPool::ResolveThreadCount(options_.num_threads);
-  if (threads > 1) workers_ = std::make_unique<ThreadPool>(threads);
-  voi_ = std::make_unique<VoiRanker>(index_.get(), &weights_, workers_.get());
+  ThreadPool* ranking_pool = options_.shared_pool;
+  if (ranking_pool == nullptr) {
+    const std::size_t threads =
+        ThreadPool::ResolveThreadCount(options_.num_threads);
+    if (threads > 1) workers_ = std::make_unique<ThreadPool>(threads);
+    ranking_pool = workers_.get();
+  }
+  voi_ = std::make_unique<VoiRanker>(index_.get(), &weights_, ranking_pool);
 
   stats_ = GdrStats{};
   stats_.initial_dirty = manager_->Initialize();

@@ -89,6 +89,13 @@ struct GdrOptions {
   /// bit-identical for every setting — parallelism only changes wall-clock
   /// time, never scores, order, or repair results.
   std::size_t num_threads = 1;
+  /// Non-owning: when set, ranking fans out on this pool instead of a
+  /// per-engine one and `num_threads` is ignored. This is how a session
+  /// server multiplexes all sessions' ranking work onto one shared pool —
+  /// thousands of resident sessions must not mean thousands of worker
+  /// threads. The pool must outlive the engine. Scores stay bit-identical:
+  /// pool size never affects ranking output, only wall-clock time.
+  ThreadPool* shared_pool = nullptr;
 };
 
 /// Per-phase wall-clock timings (seconds), accumulated by the engine.

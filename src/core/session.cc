@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "util/stopwatch.h"
+#include "util/strings.h"
 
 namespace gdr {
 
@@ -43,33 +44,12 @@ class ScopedTimer {
 
 constexpr char kSnapshotMagic[] = "GDRSNAP";
 // Version 2 added the append ("A") event for streaming admissions;
-// version-1 snapshots (pulls and submissions only) still deserialize.
-constexpr int kSnapshotVersion = 2;
-
-void AppendHex(const std::string& bytes, std::ostringstream* out) {
-  static constexpr char kHex[] = "0123456789abcdef";
-  for (unsigned char c : bytes) {
-    *out << kHex[c >> 4] << kHex[c & 0xF];
-  }
-}
-
-bool DecodeHex(std::string_view hex, std::string* bytes) {
-  if (hex.size() % 2 != 0) return false;
-  bytes->clear();
-  bytes->reserve(hex.size() / 2);
-  auto nibble = [](char c) -> int {
-    if (c >= '0' && c <= '9') return c - '0';
-    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
-    return -1;
-  };
-  for (std::size_t i = 0; i < hex.size(); i += 2) {
-    const int hi = nibble(hex[i]);
-    const int lo = nibble(hex[i + 1]);
-    if (hi < 0 || lo < 0) return false;
-    bytes->push_back(static_cast<char>((hi << 4) | lo));
-  }
-  return true;
-}
+// version 3 added the trailing "end" marker, which is how Deserialize
+// distinguishes a complete snapshot from a truncated prefix (a crash
+// mid-write used to be able to produce a prefix that still parsed, with a
+// silently shortened last value). Version-1/2 snapshots (no marker) still
+// deserialize.
+constexpr int kSnapshotVersion = 3;
 
 }  // namespace
 
@@ -100,8 +80,8 @@ std::string SessionSnapshot::Serialize() const {
       for (const std::vector<std::string>& row : event.rows) {
         for (std::size_t a = 0; a < row.size(); ++a) {
           if (a > 0) out << " ";
-          out << "V";
-          AppendHex(row[a], &out);  // any byte is legal in a cell value
+          // Any byte is legal in a cell value.
+          out << "V" << EncodeHex(row[a]);
         }
         out << "\n";
       }
@@ -110,13 +90,13 @@ std::string SessionSnapshot::Serialize() const {
     out << "S " << event.update_id << " " << static_cast<int>(event.feedback)
         << " " << (event.applied ? "A" : "X") << " ";
     if (event.has_value) {
-      out << "V";
-      AppendHex(event.value, &out);  // any byte is legal in a cell value
+      out << "V" << EncodeHex(event.value);
     } else {
       out << "-";
     }
     out << "\n";
   }
+  out << "end\n";
   return out.str();
 }
 
@@ -127,7 +107,7 @@ Result<SessionSnapshot> SessionSnapshot::Deserialize(std::string_view text) {
   if (!(in >> magic >> version) || magic != kSnapshotMagic) {
     return Status::InvalidArgument("not a GDR session snapshot");
   }
-  if (version != 1 && version != kSnapshotVersion) {
+  if (version < 1 || version > kSnapshotVersion) {
     return Status::InvalidArgument("unsupported snapshot version " +
                                    std::to_string(version));
   }
@@ -201,6 +181,16 @@ Result<SessionSnapshot> SessionSnapshot::Deserialize(std::string_view text) {
                                      "'");
     }
     snapshot.events.push_back(std::move(event));
+  }
+  if (version >= 3) {
+    // The explicit terminator is the truncation check: without it, a
+    // prefix cut inside the last event's hex payload could parse as a
+    // complete snapshot with a silently corrupted value.
+    std::string terminator;
+    if (!(in >> terminator) || terminator != "end") {
+      return Status::InvalidArgument(
+          "snapshot truncated: missing 'end' marker after events");
+    }
   }
   return snapshot;
 }
@@ -752,6 +742,30 @@ Status GdrSession::Restore(const SessionSnapshot& snapshot) {
         "feedback_budget, max_outer_iterations, learner_sweep_passes, and "
         "the learner delegation thresholds must match");
   }
+  // Replay mutates the table in place and grows engine state event by
+  // event, so a snapshot that diverges mid-replay (corrupted file, table
+  // not reloaded in its original dirty state) would otherwise strand the
+  // session half-replayed. Save the pristine dirty instance up front; on
+  // any failure, put the table back, rebuild a fresh engine over it, and
+  // reset the loop to not-started — the session stays fully usable (a
+  // subsequent Start() runs it as if the restore was never attempted).
+  Table* table = engine_->table_;
+  const RuleSet* rules = engine_->rules_;
+  FeedbackProvider* user = engine_->user_;
+  const GdrOptions saved_options = engine_->options_;
+  Table pristine = *table;
+  const Status replayed = ReplaySnapshot(snapshot);
+  if (!replayed.ok()) {
+    *table = std::move(pristine);
+    owned_engine_ =
+        std::make_unique<GdrEngine>(table, rules, user, saved_options);
+    engine_ = owned_engine_.get();
+    ResetToNotStarted();
+  }
+  return replayed;
+}
+
+Status GdrSession::ReplaySnapshot(const SessionSnapshot& snapshot) {
   GDR_RETURN_NOT_OK(Start());
   const GdrStats& stats = engine_->stats_;
   if (stats.user_feedback != 0 || stats.learner_decisions != 0 ||
@@ -811,6 +825,28 @@ Status GdrSession::Restore(const SessionSnapshot& snapshot) {
   }
   replaying_ = false;
   return status;
+}
+
+void GdrSession::ResetToNotStarted() {
+  state_ = SessionState::kRanking;
+  phase_ = Phase::kNotStarted;
+  iterations_ = 0;
+  groups_.clear();
+  ranking_ = VoiRanker::Ranking{};
+  picked_group_ = 0;
+  group_score_ = 0.0;
+  quota_ = 0;
+  labeled_in_group_ = 0;
+  before_feedback_ = 0;
+  before_decisions_ = 0;
+  admitted_since_iteration_ = false;
+  labeled_in_round_ = 0;
+  touched_attrs_.clear();
+  outstanding_.clear();
+  resolved_count_ = 0;
+  next_update_id_ = 1;
+  log_.clear();
+  replaying_ = false;
 }
 
 Status PumpSession(GdrSession* session, FeedbackProvider* user) {

@@ -118,8 +118,9 @@ struct SessionSnapshot {
 
   /// Plain-text wire format (versioned header + hex-encoded values, so
   /// volunteered strings and appended cells may contain any bytes).
-  /// Version 2 adds the append ("A") event; version-1 snapshots (no
-  /// appends) still deserialize.
+  /// Version 2 adds the append ("A") event; version 3 adds a trailing
+  /// "end" marker so a truncated prefix (crash mid-write) can never parse
+  /// as a complete snapshot. Version-1/2 snapshots still deserialize.
   std::string Serialize() const;
   static Result<SessionSnapshot> Deserialize(std::string_view text);
 };
@@ -255,6 +256,14 @@ class GdrSession {
   /// After a successful restore the session continues exactly where the
   /// snapshotted one stood: same pool, learner bank, RNG streams, stats,
   /// outstanding batch, and update-id sequence.
+  ///
+  /// A failed restore (corrupted snapshot, diverging replay, non-pristine
+  /// engine) is fully rolled back: the table is returned to its pre-call
+  /// contents, the engine is rebuilt pristine over it, and the session is
+  /// reset to not-started — Start() afterwards runs it exactly like a
+  /// fresh session. For sessions wrapping an external engine, the rollback
+  /// re-owns a *new* engine; the caller's original engine object is
+  /// abandoned mid-replay and must not be reused.
   Status Restore(const SessionSnapshot& snapshot);
 
  private:
@@ -307,6 +316,12 @@ class GdrSession {
   // the pool, carries unchanged groups' scores over, scores minted/changed
   // groups, and remaps picked_group_. Returns the number of groups scored.
   std::size_t MergeAdmittedGroups();
+
+  // The fallible middle of Restore(): Start + pristine check + event
+  // replay. Restore() wraps it with the all-or-nothing rollback.
+  Status ReplaySnapshot(const SessionSnapshot& snapshot);
+  // Returns every loop member to its freshly-constructed value.
+  void ResetToNotStarted();
 
   GdrEngine* engine_;                     // the components + step functions
   std::unique_ptr<GdrEngine> owned_engine_;  // set by the owning ctor

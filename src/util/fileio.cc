@@ -1,0 +1,81 @@
+#include "util/fileio.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <system_error>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#define GDR_HAVE_FSYNC 1
+#endif
+
+namespace gdr {
+
+namespace fs = std::filesystem;
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return Status::IOError("cannot open " + path + " for reading");
+  }
+  std::string contents;
+  char buffer[1 << 16];
+  std::size_t read = 0;
+  while ((read = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+    contents.append(buffer, read);
+  }
+  const bool failed = std::ferror(file) != 0;
+  std::fclose(file);
+  if (failed) return Status::IOError("read error on " + path);
+  return contents;
+}
+
+Status WriteFileAtomic(const std::string& path, const std::string& contents) {
+  const fs::path target(path);
+  std::error_code ec;
+  if (target.has_parent_path()) {
+    fs::create_directories(target.parent_path(), ec);
+    if (ec) {
+      return Status::IOError("cannot create directory " +
+                             target.parent_path().string() + ": " +
+                             ec.message());
+    }
+  }
+  const std::string tmp = path + ".tmp";
+  std::FILE* file = std::fopen(tmp.c_str(), "wb");
+  if (file == nullptr) {
+    return Status::IOError("cannot open " + tmp + " for writing");
+  }
+  const bool wrote = contents.empty() ||
+                     std::fwrite(contents.data(), 1, contents.size(), file) ==
+                         contents.size();
+  bool flushed = std::fflush(file) == 0;
+#if GDR_HAVE_FSYNC
+  // The rename only guarantees old-or-new if the new bytes are durable
+  // before the directory entry flips.
+  flushed = flushed && fsync(fileno(file)) == 0;
+#endif
+  const bool closed = std::fclose(file) == 0;
+  if (!wrote || !flushed || !closed) {
+    std::remove(tmp.c_str());
+    return Status::IOError("write error on " + tmp);
+  }
+  fs::rename(tmp, target, ec);
+  if (ec) {
+    std::remove(tmp.c_str());
+    return Status::IOError("cannot rename " + tmp + " to " + path + ": " +
+                           ec.message());
+  }
+  return Status::OK();
+}
+
+Status RemoveFileIfExists(const std::string& path) {
+  std::error_code ec;
+  fs::remove(path, ec);
+  if (ec) {
+    return Status::IOError("cannot remove " + path + ": " + ec.message());
+  }
+  return Status::OK();
+}
+
+}  // namespace gdr

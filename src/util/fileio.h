@@ -1,0 +1,29 @@
+#ifndef GDR_UTIL_FILEIO_H_
+#define GDR_UTIL_FILEIO_H_
+
+#include <string>
+
+#include "util/result.h"
+
+namespace gdr {
+
+/// Reads a whole file into a string (binary, no newline translation).
+Result<std::string> ReadFileToString(const std::string& path);
+
+/// Crash-safe whole-file replacement: writes `contents` to `path + ".tmp"`,
+/// flushes it to stable storage, and renames it over `path`. A crash at any
+/// point leaves either the previous file intact or the complete new one —
+/// never a truncated prefix, which is what snapshot persistence (the REPL's
+/// quit path, the server's eviction path) needs: a half-written session
+/// snapshot that fails Deserialize on relaunch would strand the session.
+/// Creates missing parent directories. The temp name is deterministic, so
+/// concurrent writers of the *same* path must be externally serialized
+/// (the session manager holds the per-session lock across eviction).
+Status WriteFileAtomic(const std::string& path, const std::string& contents);
+
+/// Deletes `path` if it exists; missing files are not an error.
+Status RemoveFileIfExists(const std::string& path);
+
+}  // namespace gdr
+
+#endif  // GDR_UTIL_FILEIO_H_

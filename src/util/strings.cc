@@ -1,0 +1,49 @@
+#include "util/strings.h"
+
+#include <cstdlib>
+
+namespace gdr {
+
+Result<double> ParseDouble(std::string_view text, std::string_view what) {
+  // strtod rather than from_chars<double>: libstdc++ shipped the latter
+  // late, and the bench flags accepted strtod's grammar historically.
+  const std::string copy(text);
+  char* end = nullptr;
+  const double parsed = std::strtod(copy.c_str(), &end);
+  if (copy.empty() || end != copy.c_str() + copy.size()) {
+    return Status::InvalidArgument(std::string(what) + ": expected a number, "
+                                   "got '" + copy + "'");
+  }
+  return parsed;
+}
+
+std::string EncodeHex(std::string_view bytes) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (unsigned char c : bytes) {
+    out.push_back(kHex[c >> 4]);
+    out.push_back(kHex[c & 0xF]);
+  }
+  return out;
+}
+
+bool DecodeHex(std::string_view hex, std::string* bytes) {
+  if (hex.size() % 2 != 0) return false;
+  bytes->clear();
+  bytes->reserve(hex.size() / 2);
+  auto nibble = [](char c) -> int {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    return -1;
+  };
+  for (std::size_t i = 0; i < hex.size(); i += 2) {
+    const int hi = nibble(hex[i]);
+    const int lo = nibble(hex[i + 1]);
+    if (hi < 0 || lo < 0) return false;
+    bytes->push_back(static_cast<char>((hi << 4) | lo));
+  }
+  return true;
+}
+
+}  // namespace gdr

@@ -2,7 +2,12 @@
 #define GDR_UTIL_STRINGS_H_
 
 #include <cctype>
+#include <charconv>
+#include <cstdint>
+#include <string>
 #include <string_view>
+
+#include "util/result.h"
 
 namespace gdr {
 
@@ -17,6 +22,65 @@ inline std::string_view TrimWhitespace(std::string_view s) {
   }
   return s;
 }
+
+/// Checked integer parsing — the one implementation behind every numeric
+/// knob (bench/example --flags, workload spec parameters, wire-protocol
+/// fields). Rejects what std::atoll silently accepts: empty input, leading/
+/// trailing junk ("12x", "1.5"), out-of-range magnitudes (no truncation or
+/// wraparound), and, for the unsigned variant, any negative input. `what`
+/// names the value in the error message ("--rows", "parameter 'records'").
+inline Result<std::int64_t> ParseInt64(std::string_view text,
+                                       std::string_view what) {
+  std::int64_t parsed = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), parsed);
+  if (ec == std::errc::result_out_of_range) {
+    return Status::InvalidArgument(std::string(what) + ": integer '" +
+                                   std::string(text) + "' is out of range");
+  }
+  if (ec != std::errc() || ptr != text.data() + text.size()) {
+    return Status::InvalidArgument(std::string(what) + ": expected an "
+                                   "integer, got '" + std::string(text) + "'");
+  }
+  return parsed;
+}
+
+/// As ParseInt64, but for unsigned values: "-1" (and any other negative) is
+/// an error, never a wraparound to 18446744073709551615.
+inline Result<std::uint64_t> ParseUint64(std::string_view text,
+                                         std::string_view what) {
+  if (!text.empty() && text.front() == '-') {
+    return Status::InvalidArgument(std::string(what) + ": expected a "
+                                   "non-negative integer, got '" +
+                                   std::string(text) + "'");
+  }
+  std::uint64_t parsed = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), parsed);
+  if (ec == std::errc::result_out_of_range) {
+    return Status::InvalidArgument(std::string(what) + ": integer '" +
+                                   std::string(text) + "' is out of range");
+  }
+  if (ec != std::errc() || ptr != text.data() + text.size()) {
+    return Status::InvalidArgument(std::string(what) + ": expected a "
+                                   "non-negative integer, got '" +
+                                   std::string(text) + "'");
+  }
+  return parsed;
+}
+
+/// Checked double parsing: the full strtod grammar, but the whole input
+/// must be consumed and it must be non-empty.
+Result<double> ParseDouble(std::string_view text, std::string_view what);
+
+/// Lowercase hex encoding of arbitrary bytes — how every wire format
+/// (session snapshots, the server line protocol) carries cell values and
+/// volunteered strings, so any byte is legal in transit.
+std::string EncodeHex(std::string_view bytes);
+
+/// Inverse of EncodeHex. Returns false on odd length or a non-hex digit;
+/// `bytes` is clobbered either way.
+bool DecodeHex(std::string_view hex, std::string* bytes);
 
 }  // namespace gdr
 

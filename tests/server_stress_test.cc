@@ -1,0 +1,165 @@
+// Concurrency stress over SessionManager, written for the TSan CI matrix:
+// N client threads hammer open/next/feedback/evict/snapshot/close/dump
+// against overlapping (tenant, session) keys while a byte budget keeps the
+// background eviction scan constantly firing. The invariants: no data
+// race (TSan's job), every error is a typed client-level status (never
+// kInternal/kIOError), and the final counters reconcile.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/session_manager.h"
+
+namespace gdr::server {
+namespace {
+
+OpenConfig StressConfig() {
+  OpenConfig config;
+  config.workload_spec = "figure1";
+  config.feedback_budget = 30;
+  config.seed = 11;
+  return config;
+}
+
+TEST(ServerStressTest, ConcurrentClientsOnOverlappingSessions) {
+  const auto spill =
+      std::filesystem::temp_directory_path() / "gdr_spill_stress";
+  std::filesystem::remove_all(spill);
+  SessionManagerOptions options;
+  options.spill_dir = spill.string();
+  options.memory_budget_bytes = 1;  // evict at every opportunity
+  SessionManager manager(options);
+
+  const std::vector<SessionKey> keys = {
+      {"t0", "shared-a"}, {"t0", "shared-b"}, {"t1", "shared-a"},
+      {"t1", "own-c"},    {"t2", "own-d"},    {"t2", "own-e"}};
+
+  constexpr int kThreads = 4;
+  constexpr int kOpsPerThread = 60;
+  std::atomic<int> unexpected_errors{0};
+  std::atomic<int> batches_pulled{0};
+
+  const auto worker = [&](int thread_id) {
+    std::mt19937 rng(1234u + static_cast<unsigned>(thread_id));
+    const auto check = [&](const Status& status) {
+      if (status.ok()) return;
+      if (status.code() == StatusCode::kInternal ||
+          status.code() == StatusCode::kIOError) {
+        unexpected_errors.fetch_add(1);
+        ADD_FAILURE() << "thread " << thread_id << ": "
+                      << status.ToString();
+      }
+    };
+    for (int op = 0; op < kOpsPerThread; ++op) {
+      const SessionKey& key = keys[rng() % keys.size()];
+      switch (rng() % 8) {
+        case 0:
+          check(manager.Open(key, StressConfig()).status());
+          break;
+        case 1:
+        case 2: {
+          const auto batch = manager.Next(key);
+          check(batch.status());
+          if (batch.ok() && !batch->suggestions.empty()) {
+            batches_pulled.fetch_add(1);
+            const WireSuggestion& s = batch->suggestions[0];
+            check(manager
+                      .Feedback(key, s.update_id, Feedback::kConfirm,
+                                std::nullopt)
+                      .status());
+          }
+          break;
+        }
+        case 3:
+          check(manager
+                    .Feedback(key, 1 + rng() % 20, Feedback::kReject,
+                              "volunteered-" + std::to_string(rng() % 3))
+                    .status());
+          break;
+        case 4:
+          check(manager.Evict(key).status());
+          break;
+        case 5:
+          check(manager.Snapshot(key).status());
+          break;
+        case 6:
+          check(manager.Dump(key).status());
+          break;
+        case 7:
+          if (rng() % 4 == 0) {
+            check(manager.Close(key));
+          } else {
+            manager.Stats();
+          }
+          break;
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) threads.emplace_back(worker, t);
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(unexpected_errors.load(), 0);
+  EXPECT_GT(batches_pulled.load(), 0);
+
+  // The survivors are all still serviceable (rehydrating if evicted)...
+  std::size_t live = 0;
+  for (const SessionKey& key : keys) {
+    const auto cells = manager.Dump(key);
+    if (!cells.ok()) {
+      EXPECT_EQ(cells.status().code(), StatusCode::kNotFound);
+      continue;
+    }
+    ++live;
+    EXPECT_EQ(cells->size() % 6, 0u);  // whole rows of the figure1 schema
+    EXPECT_TRUE(manager.Close(key).ok());
+  }
+  // ...and after closing them the counters reconcile to an empty server.
+  const WireServerStats stats = manager.Stats();
+  EXPECT_EQ(stats.resident_sessions, 0u);
+  EXPECT_EQ(stats.evicted_sessions, 0u);
+  EXPECT_EQ(stats.resident_bytes, 0u);
+  EXPECT_GT(stats.evictions, 0u);  // the 1-byte budget fired
+  std::filesystem::remove_all(spill);
+}
+
+TEST(ServerStressTest, ConcurrentOpensOfTheSameKeyAdmitExactlyOne) {
+  const auto spill =
+      std::filesystem::temp_directory_path() / "gdr_spill_stress_open";
+  std::filesystem::remove_all(spill);
+  SessionManagerOptions options;
+  options.spill_dir = spill.string();
+  SessionManager manager(options);
+
+  constexpr int kThreads = 4;
+  std::atomic<int> admitted{0};
+  std::atomic<int> duplicates{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      const auto opened = manager.Open({"race", "same"}, StressConfig());
+      if (opened.ok()) {
+        admitted.fetch_add(1);
+      } else if (opened.status().code() == StatusCode::kAlreadyExists) {
+        duplicates.fetch_add(1);
+      } else {
+        ADD_FAILURE() << opened.status().ToString();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(admitted.load(), 1);
+  EXPECT_EQ(duplicates.load(), kThreads - 1);
+  EXPECT_TRUE(manager.Close({"race", "same"}).ok());
+  std::filesystem::remove_all(spill);
+}
+
+}  // namespace
+}  // namespace gdr::server

@@ -1,0 +1,102 @@
+// Checked parsing and hex framing in util/strings — the helpers behind
+// every numeric flag, workload parameter, and wire-protocol field.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "util/strings.h"
+
+namespace gdr {
+namespace {
+
+TEST(ParseInt64Test, ParsesValidIntegers) {
+  EXPECT_EQ(*ParseInt64("0", "x"), 0);
+  EXPECT_EQ(*ParseInt64("42", "x"), 42);
+  EXPECT_EQ(*ParseInt64("-7", "x"), -7);
+  EXPECT_EQ(*ParseInt64("9223372036854775807", "x"),
+            std::numeric_limits<std::int64_t>::max());
+  EXPECT_EQ(*ParseInt64("-9223372036854775808", "x"),
+            std::numeric_limits<std::int64_t>::min());
+}
+
+TEST(ParseInt64Test, RejectsWhatAtollAccepts) {
+  // Every one of these returns a number (usually truncated or zero) from
+  // std::atoll; the checked parser refuses them all.
+  for (const char* bad : {"", "12x", "x12", "1.5", "1 2", " 7", "7 ", "+",
+                          "-", "--1", "0x10", "1e3"}) {
+    const auto result = ParseInt64(bad, "flag");
+    EXPECT_FALSE(result.ok()) << "'" << bad << "' parsed as "
+                              << (result.ok() ? *result : 0);
+  }
+}
+
+TEST(ParseInt64Test, RejectsOutOfRangeInsteadOfSaturating) {
+  EXPECT_FALSE(ParseInt64("9223372036854775808", "x").ok());
+  EXPECT_FALSE(ParseInt64("-9223372036854775809", "x").ok());
+  EXPECT_FALSE(ParseInt64("99999999999999999999999", "x").ok());
+}
+
+TEST(ParseInt64Test, ErrorNamesTheValue) {
+  const auto result = ParseInt64("abc", "--rows");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("--rows"), std::string::npos);
+  EXPECT_NE(result.status().message().find("abc"), std::string::npos);
+}
+
+TEST(ParseUint64Test, ParsesValidValues) {
+  EXPECT_EQ(*ParseUint64("0", "x"), 0u);
+  EXPECT_EQ(*ParseUint64("18446744073709551615", "x"),
+            std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(ParseUint64Test, RejectsNegativeInsteadOfWrapping) {
+  // strtoull("-1") wraps to 18446744073709551615; the checked parser errors.
+  EXPECT_FALSE(ParseUint64("-1", "x").ok());
+  EXPECT_FALSE(ParseUint64("-0", "x").ok());
+  EXPECT_FALSE(ParseUint64("18446744073709551616", "x").ok());
+  EXPECT_FALSE(ParseUint64("", "x").ok());
+  EXPECT_FALSE(ParseUint64("3.0", "x").ok());
+}
+
+TEST(ParseDoubleTest, ParsesValidDoubles) {
+  EXPECT_DOUBLE_EQ(*ParseDouble("0", "x"), 0.0);
+  EXPECT_DOUBLE_EQ(*ParseDouble("0.25", "x"), 0.25);
+  EXPECT_DOUBLE_EQ(*ParseDouble("-1.5e3", "x"), -1500.0);
+}
+
+TEST(ParseDoubleTest, RejectsJunk) {
+  for (const char* bad : {"", "1.5x", "x", "1..2", "1 2", "--1.0"}) {
+    EXPECT_FALSE(ParseDouble(bad, "flag").ok()) << "'" << bad << "'";
+  }
+}
+
+TEST(HexTest, RoundTripsArbitraryBytes) {
+  std::string bytes;
+  for (int i = 0; i < 256; ++i) bytes.push_back(static_cast<char>(i));
+  const std::string hex = EncodeHex(bytes);
+  EXPECT_EQ(hex.size(), 512u);
+  std::string decoded;
+  ASSERT_TRUE(DecodeHex(hex, &decoded));
+  EXPECT_EQ(decoded, bytes);
+}
+
+TEST(HexTest, EmptyIsEmpty) {
+  EXPECT_EQ(EncodeHex(""), "");
+  std::string decoded = "sentinel";
+  ASSERT_TRUE(DecodeHex("", &decoded));
+  EXPECT_EQ(decoded, "");
+}
+
+TEST(HexTest, RejectsOddLengthAndNonHex) {
+  std::string out;
+  EXPECT_FALSE(DecodeHex("a", &out));
+  EXPECT_FALSE(DecodeHex("abc", &out));
+  EXPECT_FALSE(DecodeHex("zz", &out));
+  EXPECT_FALSE(DecodeHex("0g", &out));
+  EXPECT_FALSE(DecodeHex("a b ", &out));
+}
+
+}  // namespace
+}  // namespace gdr
