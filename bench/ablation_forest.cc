@@ -22,9 +22,9 @@ int main(int argc, char** argv) {
               ",seed=" + flags.GetString("seed", "42")});
 
   for (const std::string& spec : specs) {
-    const auto resolved = ResolveWorkloadOrReport(spec);
+    const auto resolved = bench::ResolveWorkloadCachedOrReport(spec);
     if (!resolved.ok()) return 1;
-    const Dataset& dataset = *resolved;
+    const Dataset& dataset = **resolved;
     Table dirty = dataset.dirty;
     ViolationIndex probe(&dirty, &dataset.rules);
     const std::size_t budget = static_cast<std::size_t>(

@@ -82,9 +82,9 @@ int RunBench(int argc, char** argv) {
                 specs.front().c_str());
     specs.resize(1);
   }
-  const auto resolved = ResolveWorkloadOrReport(specs.front());
+  const auto resolved = bench::ResolveWorkloadCachedOrReport(specs.front());
   if (!resolved.ok()) return 1;
-  const Dataset& dataset = *resolved;
+  const Dataset& dataset = **resolved;
   // Report the resolved instance, not the flag defaults: with --workload
   // the --records/--seed flags play no part in what was measured.
   const std::size_t resolved_rows = dataset.dirty.num_rows();

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -12,6 +13,7 @@
 #include "util/result.h"
 #include "util/strings.h"
 #include "workload/registry.h"
+#include "workload/workload_cache.h"
 
 namespace gdr::bench {
 
@@ -95,12 +97,44 @@ class Flags {
 /// The shared --workload handling of every figure harness: the list of
 /// --workload=name:key=val,... occurrences, or `defaults` (textual specs
 /// too) when the flag is absent. Resolve each spec with
-/// ResolveWorkloadOrReport *inside* the per-workload loop so only one Dataset
-/// is materialized at a time.
+/// ResolveWorkloadCachedOrReport *inside* the per-workload loop so only one
+/// freshly generated Dataset is materialized at a time (cached ones are
+/// shared).
 inline std::vector<std::string> WorkloadSpecsOrDefaults(
     const Flags& flags, const std::vector<std::string>& defaults) {
   std::vector<std::string> specs = flags.GetStrings("workload");
   return specs.empty() ? defaults : specs;
+}
+
+/// The process-wide workload cache behind every bench driver: a spec that
+/// repeats — across --workload= occurrences, figure panels, or strategy
+/// loops — resolves through generation + rule discovery once and is shared
+/// read-only after that. Keyed by WorkloadSpec::Canonical(), so reordered
+/// parameters still hit. Set GDR_WORKLOAD_CACHE_DIR to add the on-disk
+/// layer (resolutions then persist across bench processes).
+inline WorkloadCache& ProcessWorkloadCache() {
+  static WorkloadCache* cache = [] {
+    WorkloadCacheOptions options;
+    if (const char* dir = std::getenv("GDR_WORKLOAD_CACHE_DIR")) {
+      options.cache_dir = dir;
+    }
+    return new WorkloadCache(options);
+  }();
+  return *cache;
+}
+
+/// Cache-backed ResolveWorkloadOrReport: same error reporting (stderr note
+/// plus the registered-workload listing), but repeated specs are cache
+/// hits instead of re-runs.
+inline Result<std::shared_ptr<const Dataset>> ResolveWorkloadCachedOrReport(
+    const std::string& spec_text) {
+  auto dataset = ProcessWorkloadCache().Resolve(spec_text);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "workload '%s': %s\nregistered workloads:\n%s",
+                 spec_text.c_str(), dataset.status().ToString().c_str(),
+                 FormatWorkloadListing(WorkloadRegistry::Global()).c_str());
+  }
+  return dataset;
 }
 
 }  // namespace gdr::bench

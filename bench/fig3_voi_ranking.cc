@@ -79,10 +79,10 @@ int main(int argc, char** argv) {
   const std::uint64_t experiment_seed =
       static_cast<std::uint64_t>(flags.GetInt("seed", 42));
   for (std::size_t i = 0; i < specs.size(); ++i) {
-    const auto dataset = gdr::ResolveWorkloadOrReport(specs[i]);
+    const auto dataset = gdr::bench::ResolveWorkloadCachedOrReport(specs[i]);
     if (!dataset.ok()) return 1;
     const std::string figure = "(" + std::string(1, char('a' + i % 26)) + ")";
-    gdr::RunFigure3(*dataset, figure.c_str(), experiment_seed, threads);
+    gdr::RunFigure3(**dataset, figure.c_str(), experiment_seed, threads);
   }
   return 0;
 }

@@ -107,10 +107,10 @@ int main(int argc, char** argv) {
       flags, {"dataset1:records=" + records + ",seed=" + seed,
               "dataset2:records=" + records + ",seed=" + seed});
   for (std::size_t i = 0; i < specs.size(); ++i) {
-    const auto dataset = gdr::ResolveWorkloadOrReport(specs[i]);
+    const auto dataset = gdr::bench::ResolveWorkloadCachedOrReport(specs[i]);
     if (!dataset.ok()) return 1;
     const std::string figure = "(" + std::string(1, char('a' + i % 26)) + ")";
-    gdr::RunFigure4(*dataset, figure.c_str(), experiment_seed, budget_pct,
+    gdr::RunFigure4(**dataset, figure.c_str(), experiment_seed, budget_pct,
                     threads);
   }
   return 0;

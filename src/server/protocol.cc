@@ -131,7 +131,10 @@ bool HandleCommand(const Backend& backend, std::string_view line,
         << " bytes=" << stats.resident_bytes
         << " budget=" << stats.memory_budget_bytes << " opens=" << stats.opens
         << " evictions=" << stats.evictions
-        << " rehydrations=" << stats.rehydrations << "\n";
+        << " rehydrations=" << stats.rehydrations
+        << " pool-threads=" << stats.pool_threads
+        << " pool-depth=" << stats.pool_queue_depth
+        << " pool-completed=" << stats.pool_tasks_completed << "\n";
     reply->append(out.str());
     return true;
   }

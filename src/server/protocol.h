@@ -37,6 +37,8 @@ namespace gdr::server {
 ///   stats                               -> OK resident=N evicted=N
 ///                                          bytes=N budget=N opens=N
 ///                                          evictions=N rehydrations=N
+///                                          pool-threads=N pool-depth=N
+///                                          pool-completed=N
 ///   quit                                -> OK bye (and the loop returns)
 ///
 /// Blank lines and lines starting with '#' are ignored without reply.

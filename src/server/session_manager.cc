@@ -453,6 +453,11 @@ WireServerStats SessionManager::Stats() const {
   stats.opens = opens_.load(std::memory_order_relaxed);
   stats.evictions = evictions_.load(std::memory_order_relaxed);
   stats.rehydrations = rehydrations_.load(std::memory_order_relaxed);
+  if (ranking_pool_ != nullptr) {
+    stats.pool_threads = ranking_pool_->size();
+    stats.pool_queue_depth = ranking_pool_->queue_depth();
+    stats.pool_tasks_completed = ranking_pool_->tasks_completed();
+  }
   return stats;
 }
 

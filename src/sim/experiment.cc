@@ -23,6 +23,7 @@ Result<ExperimentResult> RunStrategyExperiment(
   options.ns = config.ns;
   options.seed = config.seed;
   options.num_threads = config.num_threads;
+  options.shared_pool = config.shared_pool;
 
   const Stopwatch wall_watch;
   GdrEngine engine(&working, &dataset.rules, &oracle, options);

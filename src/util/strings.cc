@@ -46,4 +46,15 @@ bool DecodeHex(std::string_view hex, std::string* bytes) {
   return true;
 }
 
+std::string Fnv1a64Hex(std::string_view bytes) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::uint64_t hash = Fnv1a64(bytes);
+  std::string out(16, '0');
+  for (std::size_t i = 16; i-- > 0;) {
+    out[i] = kHex[hash & 0xF];
+    hash >>= 4;
+  }
+  return out;
+}
+
 }  // namespace gdr

@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "util/result.h"
 
@@ -81,6 +82,41 @@ std::string EncodeHex(std::string_view bytes);
 /// Inverse of EncodeHex. Returns false on odd length or a non-hex digit;
 /// `bytes` is clobbered either way.
 bool DecodeHex(std::string_view hex, std::string* bytes);
+
+/// Splits on every occurrence of `sep`. Empty pieces are preserved
+/// (",a," -> "", "a", "") and an empty input yields one empty piece, so
+/// callers see exactly the comma grammar they were given — trim/validate
+/// per piece as needed.
+inline std::vector<std::string> SplitString(std::string_view text, char sep) {
+  std::vector<std::string> pieces;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = text.find(sep, start);
+    if (pos == std::string_view::npos) {
+      pieces.emplace_back(text.substr(start));
+      return pieces;
+    }
+    pieces.emplace_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+/// 64-bit FNV-1a over arbitrary bytes. Stable across platforms and runs —
+/// used for content-addressed keys (the workload cache, sweep result
+/// fingerprints), never for adversarial inputs.
+inline std::uint64_t Fnv1a64(std::string_view bytes,
+                             std::uint64_t seed = 14695981039346656037ULL) {
+  std::uint64_t hash = seed;
+  for (const char c : bytes) {
+    hash ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+/// Fnv1a64 rendered as fixed-width lowercase hex (16 digits) — the textual
+/// form used in cache directory names and JSON artifacts.
+std::string Fnv1a64Hex(std::string_view bytes);
 
 }  // namespace gdr
 

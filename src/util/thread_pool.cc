@@ -27,6 +27,11 @@ std::size_t ThreadPool::ResolveThreadCount(std::size_t requested) {
   return hw == 0 ? 1 : static_cast<std::size_t>(hw);
 }
 
+std::size_t ThreadPool::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return tasks_.size();
+}
+
 void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
@@ -38,6 +43,7 @@ void ThreadPool::WorkerLoop() {
       tasks_.pop_front();
     }
     task();
+    completed_.fetch_add(1, std::memory_order_relaxed);
   }
 }
 

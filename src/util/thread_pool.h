@@ -42,6 +42,20 @@ class ThreadPool {
   /// any other value is taken literally (1 = serial, no pool needed).
   static std::size_t ResolveThreadCount(std::size_t requested);
 
+  /// Tasks currently queued and not yet picked up by a worker (a point-in-
+  /// time sample; another thread may dequeue immediately after). Together
+  /// with tasks_completed() this makes pool saturation observable — the
+  /// server `stats` reply and the sweep bench surface both.
+  std::size_t queue_depth() const;
+
+  /// Total submitted tasks that have finished executing on a worker since
+  /// construction. Counts Submit()ed callables (including the per-slot
+  /// drivers ParallelFor* submits); chunks the *calling* thread drives
+  /// in-place are not separate tasks and are not counted. Monotonic.
+  std::uint64_t tasks_completed() const {
+    return completed_.load(std::memory_order_relaxed);
+  }
+
   /// Enqueues `task` and returns a future for its result. The future's
   /// get() rethrows any exception the task raised.
   template <typename F>
@@ -82,8 +96,9 @@ class ThreadPool {
 
   std::vector<std::thread> workers_;
   std::deque<std::function<void()>> tasks_;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable ready_;
+  std::atomic<std::uint64_t> completed_{0};
   bool stop_ = false;
 };
 

@@ -1,5 +1,6 @@
 #include "workload/workload.h"
 
+#include <algorithm>
 #include <charconv>
 #include <cstdlib>
 
@@ -64,6 +65,22 @@ std::string WorkloadSpec::ToString() const {
   }
   return out;
 }
+
+std::string WorkloadSpec::Canonical() const {
+  std::vector<std::pair<std::string, std::string>> sorted = params;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::string out(TrimWhitespace(name));
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    out += i == 0 ? ':' : ',';
+    out += sorted[i].first;
+    out += '=';
+    out += sorted[i].second;
+  }
+  return out;
+}
+
+std::uint64_t WorkloadSpec::ContentHash() const { return Fnv1a64(Canonical()); }
 
 const std::string* WorkloadSpec::Find(std::string_view key) const {
   for (const auto& [k, v] : params) {

@@ -40,6 +40,20 @@ struct WorkloadSpec {
   /// values contain no commas).
   std::string ToString() const;
 
+  /// The canonical textual form: the (already whitespace-trimmed) name
+  /// followed by the parameters in *sorted key order* with single
+  /// separators and no padding. Two specs that differ only in parameter
+  /// order or surrounding whitespace canonicalize identically — this is
+  /// the content key of the workload cache. Keys are unique by
+  /// construction, so the sort is total.
+  std::string Canonical() const;
+
+  /// Stable FNV-1a (64-bit) hash of Canonical(), identical across runs and
+  /// platforms. Used to name cache directories; collisions are possible in
+  /// principle, so every consumer must verify the stored canonical string
+  /// before trusting a hash match (the cache does).
+  std::uint64_t ContentHash() const;
+
   /// Returns the value for `key`, or nullptr when absent.
   const std::string* Find(std::string_view key) const;
   bool Has(std::string_view key) const { return Find(key) != nullptr; }

@@ -1,0 +1,213 @@
+#include "workload/workload_cache.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+#include <utility>
+
+#include "util/fileio.h"
+#include "util/strings.h"
+#include "workload/file_workload.h"
+#include "workload/registry.h"
+
+namespace gdr {
+
+namespace {
+
+// Salted slots probed per content hash before giving up on the disk layer
+// for a spec. Reaching this would take 16 distinct canonical specs sharing
+// one 64-bit FNV value — if that happens, the cache degrades to
+// resolve-every-time for the 17th, never to aliasing.
+constexpr std::size_t kMaxProbes = 16;
+
+constexpr char kMetaFile[] = "meta.txt";
+
+std::string SlotDir(const std::string& cache_dir, const std::string& hash,
+                    std::size_t salt) {
+  std::string dir = cache_dir + "/wl_" + hash;
+  if (salt > 0) dir += "_" + std::to_string(salt);
+  return dir;
+}
+
+// meta.txt: a 3-line record written *after* the csv: file set, so its
+// presence marks a complete entry (a crash mid-export leaves no meta and
+// the slot is rebuilt). Spec and name travel hex-encoded so any byte is
+// representable.
+struct Meta {
+  std::string canonical;
+  std::string dataset_name;
+  std::size_t corrupted_tuples = 0;
+};
+
+std::string SerializeMeta(const Meta& meta) {
+  std::ostringstream out;
+  out << "gdr-workload-cache 1\n";
+  out << "spec " << EncodeHex(meta.canonical) << "\n";
+  out << "name " << EncodeHex(meta.dataset_name) << "\n";
+  out << "corrupted " << meta.corrupted_tuples << "\n";
+  return out.str();
+}
+
+Result<Meta> ParseMeta(const std::string& text) {
+  std::istringstream in(text);
+  std::string header;
+  if (!std::getline(in, header) || header != "gdr-workload-cache 1") {
+    return Status::InvalidArgument("unrecognized cache meta header");
+  }
+  Meta meta;
+  std::string tag, value;
+  if (!(in >> tag >> value) || tag != "spec" ||
+      !DecodeHex(value, &meta.canonical)) {
+    return Status::InvalidArgument("cache meta: bad spec line");
+  }
+  if (!(in >> tag >> value) || tag != "name" ||
+      !DecodeHex(value, &meta.dataset_name)) {
+    return Status::InvalidArgument("cache meta: bad name line");
+  }
+  std::uint64_t corrupted = 0;
+  if (!(in >> tag >> corrupted) || tag != "corrupted") {
+    return Status::InvalidArgument("cache meta: bad corrupted line");
+  }
+  meta.corrupted_tuples = static_cast<std::size_t>(corrupted);
+  return meta;
+}
+
+}  // namespace
+
+WorkloadCache::WorkloadCache(WorkloadCacheOptions options)
+    : options_(std::move(options)) {}
+
+Result<std::shared_ptr<const Dataset>> WorkloadCache::Resolve(
+    std::string_view spec_text) {
+  GDR_ASSIGN_OR_RETURN(const WorkloadSpec spec, WorkloadSpec::Parse(spec_text));
+  return Resolve(spec);
+}
+
+Result<std::shared_ptr<const Dataset>> WorkloadCache::Resolve(
+    const WorkloadSpec& spec) {
+  const std::string canonical = spec.Canonical();
+
+  if (options_.max_resident > 0) {
+    const auto it = resident_.find(canonical);
+    if (it != resident_.end()) {
+      ++counters_.memory_hits;
+      it->second.last_touch = ++touch_clock_;
+      return it->second.dataset;
+    }
+  }
+
+  if (!options_.cache_dir.empty()) {
+    const std::string dir = FindDiskEntry(canonical);
+    if (!dir.empty()) {
+      auto loaded = LoadDiskEntry(dir);
+      if (loaded.ok()) {
+        ++counters_.disk_hits;
+        auto shared = std::make_shared<const Dataset>(*std::move(loaded));
+        InsertResident(canonical, shared);
+        return shared;
+      }
+      // A corrupt entry degrades to a full resolution (and a re-export
+      // below) — the cache must never fail a run the registry could serve.
+      std::fprintf(stderr, "workload cache: discarding corrupt entry %s: %s\n",
+                   dir.c_str(), loaded.status().ToString().c_str());
+    }
+  }
+
+  ++counters_.misses;
+  GDR_ASSIGN_OR_RETURN(Dataset dataset,
+                       WorkloadRegistry::Global().Resolve(spec));
+  if (!options_.cache_dir.empty()) {
+    if (const Status stored = StoreDiskEntry(canonical, dataset);
+        !stored.ok()) {
+      // Best-effort: a full disk never fails the resolution itself.
+      std::fprintf(stderr, "workload cache: cannot store '%s': %s\n",
+                   canonical.c_str(), stored.ToString().c_str());
+    }
+  }
+  auto shared = std::make_shared<const Dataset>(std::move(dataset));
+  InsertResident(canonical, shared);
+  return shared;
+}
+
+std::string WorkloadCache::FindDiskEntry(const std::string& canonical) {
+  const std::string hash = Fnv1a64Hex(canonical);
+  bool skipped_mismatch = false;
+  for (std::size_t salt = 0; salt < kMaxProbes; ++salt) {
+    const std::string dir = SlotDir(options_.cache_dir, hash, salt);
+    auto meta_text = ReadFileToString(dir + "/" + kMetaFile);
+    if (!meta_text.ok()) break;  // first slot with no complete entry
+    auto meta = ParseMeta(*meta_text);
+    if (meta.ok() && meta->canonical == canonical) {
+      if (skipped_mismatch) ++counters_.collisions_resolved;
+      return dir;
+    }
+    // Occupied by a different spec (a true hash collision) or unreadable:
+    // never alias — probe the next salted slot.
+    skipped_mismatch = true;
+  }
+  return "";
+}
+
+Status WorkloadCache::StoreDiskEntry(const std::string& canonical,
+                                     const Dataset& dataset) {
+  const std::string hash = Fnv1a64Hex(canonical);
+  std::string dir;
+  bool skipped_mismatch = false;
+  for (std::size_t salt = 0; salt < kMaxProbes; ++salt) {
+    const std::string candidate = SlotDir(options_.cache_dir, hash, salt);
+    auto meta_text = ReadFileToString(candidate + "/" + kMetaFile);
+    if (!meta_text.ok()) {
+      dir = candidate;  // free (or incomplete) slot: claim it
+      break;
+    }
+    auto meta = ParseMeta(*meta_text);
+    if (meta.ok() && meta->canonical == canonical) {
+      dir = candidate;  // already stored (e.g. by a previous process)
+      break;
+    }
+    skipped_mismatch = true;
+  }
+  if (dir.empty()) {
+    return Status::FailedPrecondition("workload cache: " +
+                                      std::to_string(kMaxProbes) +
+                                      " colliding slots for hash " + hash);
+  }
+  if (skipped_mismatch) ++counters_.collisions_resolved;
+  GDR_RETURN_NOT_OK(ExportWorkload(dataset, dir));
+  Meta meta;
+  meta.canonical = canonical;
+  meta.dataset_name = dataset.name;
+  meta.corrupted_tuples = dataset.corrupted_tuples;
+  // Written last, atomically: meta.txt present == entry complete.
+  return WriteFileAtomic(dir + "/" + kMetaFile, SerializeMeta(meta));
+}
+
+Result<Dataset> WorkloadCache::LoadDiskEntry(const std::string& dir) {
+  GDR_ASSIGN_OR_RETURN(const std::string meta_text,
+                       ReadFileToString(dir + "/" + kMetaFile));
+  GDR_ASSIGN_OR_RETURN(const Meta meta, ParseMeta(meta_text));
+  WorkloadSpec spec = CsvWorkloadSpec(dir);
+  spec.params.emplace_back("name", meta.dataset_name);
+  GDR_ASSIGN_OR_RETURN(Dataset dataset, LoadCsvWorkload(spec));
+  // The loader recomputes corrupted_tuples as rows-with-differing-cells;
+  // carry the generator's count instead so cached and uncached resolutions
+  // are indistinguishable even when an injected error wrote a cell's
+  // original value back.
+  dataset.corrupted_tuples = meta.corrupted_tuples;
+  return dataset;
+}
+
+void WorkloadCache::InsertResident(const std::string& canonical,
+                                   std::shared_ptr<const Dataset> dataset) {
+  if (options_.max_resident == 0) return;
+  resident_[canonical] = Resident{std::move(dataset), ++touch_clock_};
+  while (resident_.size() > options_.max_resident) {
+    auto victim = resident_.begin();
+    for (auto it = resident_.begin(); it != resident_.end(); ++it) {
+      if (it->second.last_touch < victim->second.last_touch) victim = it;
+    }
+    resident_.erase(victim);
+  }
+}
+
+}  // namespace gdr

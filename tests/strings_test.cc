@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <limits>
 #include <string>
+#include <vector>
 
 #include "util/strings.h"
 
@@ -96,6 +97,27 @@ TEST(HexTest, RejectsOddLengthAndNonHex) {
   EXPECT_FALSE(DecodeHex("zz", &out));
   EXPECT_FALSE(DecodeHex("0g", &out));
   EXPECT_FALSE(DecodeHex("a b ", &out));
+}
+
+TEST(SplitStringTest, SplitsPreservingEmptyPieces) {
+  EXPECT_EQ(SplitString("a,b,c", ','),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(SplitString(",a,", ','), (std::vector<std::string>{"", "a", ""}));
+  EXPECT_EQ(SplitString("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(SplitString("solo", ','), (std::vector<std::string>{"solo"}));
+}
+
+TEST(Fnv1aTest, MatchesKnownVectorsAndIsStable) {
+  // Published FNV-1a 64 test vectors.
+  EXPECT_EQ(Fnv1a64(""), 14695981039346656037ULL);
+  EXPECT_EQ(Fnv1a64("a"), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(Fnv1a64("foobar"), 0x85944171f73967e8ULL);
+  // The hex form is fixed-width lowercase — it names cache directories.
+  EXPECT_EQ(Fnv1a64Hex(""), "cbf29ce484222325");
+  EXPECT_EQ(Fnv1a64Hex("foobar"), "85944171f73967e8");
+  EXPECT_EQ(Fnv1a64Hex("foobar").size(), 16u);
+  // Distinct inputs, distinct digests (sanity, not a collision proof).
+  EXPECT_NE(Fnv1a64("dataset1:records=100"), Fnv1a64("dataset1:records=101"));
 }
 
 }  // namespace

@@ -1,0 +1,120 @@
+// The sweep harness: grid shape, cache-hit accounting across cells,
+// determinism flags over a real (if tiny) strategy × shard × thread grid,
+// config validation, and the BENCH_sweep.json rendering.
+#include "plane/sweep.h"
+
+#include <algorithm>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace gdr::plane {
+namespace {
+
+SweepConfig TinyConfig() {
+  SweepConfig config;
+  config.workloads = {"dataset1:records=200,seed=13",
+                      "dataset1:seed=13,records=200"};  // same content
+  config.strategies = {Strategy::kGdrNoLearning};
+  config.shard_counts = {1, 2};
+  config.thread_counts = {1, 2};
+  config.seed = 7;
+  config.sample_every = 25;
+  return config;
+}
+
+TEST(SweepTest, RunsTheFullGridWithCacheHits) {
+  const SweepConfig config = TinyConfig();
+  auto report = RunSweep(config);
+  ASSERT_TRUE(report.ok());
+
+  // 2 workloads x 1 strategy x 2 shard counts x 2 thread counts.
+  ASSERT_EQ(report->cells.size(), 8u);
+  EXPECT_TRUE(report->determinism_ok);
+  for (const SweepCell& cell : report->cells) {
+    EXPECT_TRUE(cell.merge_deterministic) << cell.workload;
+    EXPECT_TRUE(cell.fingerprint_consistent) << cell.workload;
+    EXPECT_EQ(cell.rows, 200u);
+    EXPECT_EQ(cell.strategy, "GDR-NoLearning");
+  }
+
+  // One real resolution; every other cell (including the reordered spec,
+  // which canonicalizes identically) hits the memory layer.
+  EXPECT_TRUE(report->cache_hits_expected);
+  EXPECT_EQ(report->cache.misses, 1u);
+  EXPECT_EQ(report->cache.memory_hits, 7u);
+  EXPECT_FALSE(report->cells.front().cache_hit);
+  EXPECT_TRUE(report->cells.back().cache_hit);
+
+  // Both workload specs canonicalize to one cache key.
+  EXPECT_EQ(report->cells.front().workload, report->cells.back().workload);
+}
+
+TEST(SweepTest, FingerprintsAgreeAcrossThreadCountsPerGroup) {
+  auto report = RunSweep(TinyConfig());
+  ASSERT_TRUE(report.ok());
+  // Cells of one (workload, strategy, shard_count) group differ only in
+  // thread count; their fingerprints must be one value.
+  for (const SweepCell& a : report->cells) {
+    for (const SweepCell& b : report->cells) {
+      if (a.workload == b.workload && a.strategy == b.strategy &&
+          a.shard_count == b.shard_count) {
+        EXPECT_EQ(a.fingerprint, b.fingerprint);
+      }
+    }
+  }
+}
+
+TEST(SweepTest, RejectsEmptyGridAxes) {
+  SweepConfig config = TinyConfig();
+  config.strategies.clear();
+  EXPECT_EQ(RunSweep(config).status().code(), StatusCode::kInvalidArgument);
+
+  config = TinyConfig();
+  config.shard_counts = {2, 0};
+  EXPECT_EQ(RunSweep(config).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SweepTest, SingleCellExpectsNoCacheHits) {
+  SweepConfig config = TinyConfig();
+  config.workloads = {"dataset1:records=200,seed=13"};
+  config.shard_counts = {1};
+  config.thread_counts = {1};
+  auto report = RunSweep(config);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->cells.size(), 1u);
+  EXPECT_FALSE(report->cache_hits_expected);
+  EXPECT_EQ(report->cache.hits(), 0u);
+}
+
+TEST(SweepTest, JsonCarriesTheGateSignals) {
+  auto report = RunSweep(TinyConfig());
+  ASSERT_TRUE(report.ok());
+  const std::string json = SweepReportToJson(*report);
+
+  for (const char* key :
+       {"\"bench\": \"sweep\"", "\"hardware_concurrency\":", "\"cells\":",
+        "\"determinism_ok\": true", "\"memory_hits\": 7", "\"misses\": 1",
+        "\"hits_expected\": true", "\"merge_deterministic\": true",
+        "\"fingerprint_consistent\": true", "\"fingerprint\": \"",
+        "\"shard_count\": 2", "\"thread_count\": 2",
+        "\"pool_tasks_completed\":", "\"workload_name\": \"dataset1-hospital\"",
+        "\"strategy\": \"GDR-NoLearning\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  }
+  // Valid-JSON smoke: balanced braces/brackets in the rendered document.
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+}
+
+TEST(SweepJsonTest, EscapesStringsInConfigEcho) {
+  SweepReport report;
+  report.config.workloads = {"csv:clean=C:\\data\\x \"y\".csv"};
+  const std::string json = SweepReportToJson(report);
+  EXPECT_NE(json.find("C:\\\\data\\\\x \\\"y\\\".csv"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gdr::plane

@@ -5,6 +5,7 @@
 #include <atomic>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 namespace gdr {
@@ -97,6 +98,58 @@ TEST(ThreadPoolTest, ParallelForSum) {
     parts[i] = static_cast<long>(i);
   });
   EXPECT_EQ(std::accumulate(parts.begin(), parts.end(), 0L), 499L * 500 / 2);
+}
+
+// The worker increments tasks_completed() just after the task's future is
+// fulfilled, so a caller that just observed the result may be one step
+// ahead of the counter. Spin briefly until it catches up.
+void WaitForCompleted(const ThreadPool& pool, std::uint64_t expected) {
+  for (int spin = 0; spin < 100000 && pool.tasks_completed() < expected;
+       ++spin) {
+    std::this_thread::yield();
+  }
+}
+
+TEST(ThreadPoolTest, CountsCompletedSubmittedTasks) {
+  ThreadPool pool(2);
+  EXPECT_EQ(pool.tasks_completed(), 0u);
+  EXPECT_EQ(pool.queue_depth(), 0u);
+
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 10; ++i) {
+    futures.push_back(pool.Submit([i] { return i; }));
+  }
+  for (auto& future : futures) (void)future.get();
+  // The worker bumps the counter just *after* fulfilling the future, so
+  // give the last increment a moment to land.
+  WaitForCompleted(pool, 10);
+  EXPECT_EQ(pool.tasks_completed(), 10u);
+  // Every future resolved, so nothing can still be queued.
+  EXPECT_EQ(pool.queue_depth(), 0u);
+}
+
+TEST(ThreadPoolTest, CompletedCountSurvivesThrowingTasks) {
+  ThreadPool pool(1);
+  auto future = pool.Submit([]() -> int { throw std::runtime_error("x"); });
+  EXPECT_THROW(future.get(), std::runtime_error);
+  // A task that threw still *completed* (the exception lives in the
+  // future); the counter must not stall.
+  WaitForCompleted(pool, 1);
+  EXPECT_EQ(pool.tasks_completed(), 1u);
+  (void)pool.Submit([] { return 1; }).get();
+  WaitForCompleted(pool, 2);
+  EXPECT_EQ(pool.tasks_completed(), 2u);
+}
+
+TEST(ThreadPoolTest, ParallelForCountsOnlyPoolDrivenWork) {
+  ThreadPool pool(2);
+  std::atomic<int> touched{0};
+  pool.ParallelFor(100, [&touched](std::size_t) { ++touched; });
+  EXPECT_EQ(touched.load(), 100);
+  // ParallelFor submits per-slot driver tasks, not one task per index —
+  // the counter reflects pool-executed callables, bounded by the worker
+  // count per call (the caller's own slot is not a pool task).
+  EXPECT_LE(pool.tasks_completed(), 2u);
 }
 
 }  // namespace

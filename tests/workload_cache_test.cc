@@ -1,0 +1,208 @@
+// The content-keyed workload cache: canonical-key equivalence (reordered
+// specs share one entry, distinct specs never alias), LRU eviction, the
+// disk layer's round-trip / collision-probing / corrupt-entry degradation,
+// and the experiment-level guarantee that a cached resolution is
+// indistinguishable from a fresh one.
+#include "workload/workload_cache.h"
+
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "sim/experiment.h"
+#include "util/strings.h"
+#include "workload/registry.h"
+
+namespace gdr {
+namespace {
+
+std::filesystem::path TempDir(const std::string& leaf) {
+  const auto dir = std::filesystem::temp_directory_path() / leaf;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+constexpr char kSpec[] = "dataset1:records=150,seed=4";
+constexpr char kSpecReordered[] = " dataset1 : seed=4 , records=150 ";
+
+TEST(WorkloadCanonicalTest, NormalizesOrderAndWhitespace) {
+  const auto a = WorkloadSpec::Parse(kSpec);
+  const auto b = WorkloadSpec::Parse(kSpecReordered);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->Canonical(), "dataset1:records=150,seed=4");
+  EXPECT_EQ(a->Canonical(), b->Canonical());
+  EXPECT_EQ(a->ContentHash(), b->ContentHash());
+}
+
+TEST(WorkloadCanonicalTest, DistinctSpecsDiffer) {
+  const auto a = WorkloadSpec::Parse("dataset1:records=150,seed=4");
+  const auto b = WorkloadSpec::Parse("dataset1:records=150,seed=5");
+  const auto c = WorkloadSpec::Parse("dataset2:records=150,seed=4");
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+  EXPECT_NE(a->Canonical(), b->Canonical());
+  EXPECT_NE(a->Canonical(), c->Canonical());
+  EXPECT_NE(a->ContentHash(), b->ContentHash());
+  EXPECT_NE(a->ContentHash(), c->ContentHash());
+}
+
+TEST(WorkloadCacheTest, ReorderedSpecHitsTheSameEntry) {
+  WorkloadCache cache;
+  auto first = cache.Resolve(kSpec);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(cache.counters().misses, 1u);
+
+  auto second = cache.Resolve(kSpecReordered);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(cache.counters().memory_hits, 1u);
+  EXPECT_EQ(cache.counters().misses, 1u);
+  // Same shared instance, not merely equal content.
+  EXPECT_EQ(first->get(), second->get());
+}
+
+TEST(WorkloadCacheTest, DistinctSpecsNeverAlias) {
+  WorkloadCache cache;
+  auto a = cache.Resolve("dataset1:records=150,seed=4");
+  auto b = cache.Resolve("dataset1:records=150,seed=5");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(cache.counters().misses, 2u);
+  EXPECT_EQ(cache.counters().hits(), 0u);
+  EXPECT_NE(a->get(), b->get());
+  EXPECT_NE(*(*a)->dirty.CountDifferingCells((*b)->dirty), 0u);
+}
+
+TEST(WorkloadCacheTest, LruEvictsBeyondMaxResident) {
+  WorkloadCacheOptions options;
+  options.max_resident = 2;
+  WorkloadCache cache(options);
+  ASSERT_TRUE(cache.Resolve("dataset1:records=60,seed=1").ok());
+  ASSERT_TRUE(cache.Resolve("dataset1:records=60,seed=2").ok());
+  // Touch seed=1 so seed=2 is the LRU victim when seed=3 arrives.
+  ASSERT_TRUE(cache.Resolve("dataset1:records=60,seed=1").ok());
+  ASSERT_TRUE(cache.Resolve("dataset1:records=60,seed=3").ok());
+
+  ASSERT_TRUE(cache.Resolve("dataset1:records=60,seed=1").ok());
+  EXPECT_EQ(cache.counters().memory_hits, 2u);
+  ASSERT_TRUE(cache.Resolve("dataset1:records=60,seed=2").ok());
+  EXPECT_EQ(cache.counters().misses, 4u);  // evicted, no disk layer: re-run
+}
+
+TEST(WorkloadCacheTest, DiskLayerSurvivesProcessBoundary) {
+  const auto dir = TempDir("gdr_cache_disk");
+  WorkloadCacheOptions options;
+  options.cache_dir = dir.string();
+
+  std::string fresh_fingerprint;
+  {
+    WorkloadCache cache(options);
+    auto dataset = cache.Resolve(kSpec);
+    ASSERT_TRUE(dataset.ok());
+    EXPECT_EQ(cache.counters().misses, 1u);
+    ExperimentConfig config;
+    config.seed = 11;
+    auto result = RunStrategyExperiment(**dataset, config);
+    ASSERT_TRUE(result.ok());
+    fresh_fingerprint = result->strategy_name +
+                        std::to_string(result->stats.user_feedback) +
+                        std::to_string(result->final_loss);
+  }
+
+  // A new cache object = a new process as far as the memory layer is
+  // concerned; only the disk entry can answer.
+  WorkloadCache cache(options);
+  auto dataset = cache.Resolve(kSpecReordered);
+  ASSERT_TRUE(dataset.ok());
+  EXPECT_EQ(cache.counters().disk_hits, 1u);
+  EXPECT_EQ(cache.counters().misses, 0u);
+  EXPECT_EQ((*dataset)->name, "dataset1-hospital");
+
+  // The cached resolution is experiment-indistinguishable from the fresh
+  // one (PR 4's export/load bit-identity, now load-bearing for the cache).
+  ExperimentConfig config;
+  config.seed = 11;
+  auto result = RunStrategyExperiment(**dataset, config);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->strategy_name +
+                std::to_string(result->stats.user_feedback) +
+                std::to_string(result->final_loss),
+            fresh_fingerprint);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(WorkloadCacheTest, HashCollisionProbesSaltedSlot) {
+  const auto dir = TempDir("gdr_cache_collision");
+  WorkloadCacheOptions options;
+  options.cache_dir = dir.string();
+
+  // Occupy the spec's primary slot with a *different* canonical string —
+  // a hand-made 64-bit FNV collision. The cache must refuse the slot and
+  // store/find the real entry under the salted name.
+  const auto spec = WorkloadSpec::Parse(kSpec);
+  ASSERT_TRUE(spec.ok());
+  const std::string slot = dir.string() + "/wl_" + Fnv1a64Hex(spec->Canonical());
+  std::filesystem::create_directories(slot);
+  {
+    std::ofstream meta(slot + "/meta.txt");
+    meta << "gdr-workload-cache 1\n";
+    meta << "spec " << EncodeHex("some-other-spec:with=same-hash") << "\n";
+    meta << "name " << EncodeHex("impostor") << "\n";
+    meta << "corrupted 0\n";
+  }
+
+  WorkloadCache store(options);
+  ASSERT_TRUE(store.Resolve(kSpec).ok());
+  EXPECT_EQ(store.counters().misses, 1u);
+  EXPECT_GE(store.counters().collisions_resolved, 1u);
+  EXPECT_TRUE(std::filesystem::exists(slot + "_1/meta.txt"));
+
+  WorkloadCache load(options);
+  auto dataset = load.Resolve(kSpec);
+  ASSERT_TRUE(dataset.ok());
+  EXPECT_EQ(load.counters().disk_hits, 1u);
+  EXPECT_GE(load.counters().collisions_resolved, 1u);
+  EXPECT_EQ((*dataset)->name, "dataset1-hospital");  // not "impostor"
+  std::filesystem::remove_all(dir);
+}
+
+TEST(WorkloadCacheTest, CorruptDiskEntryDegradesToFullResolve) {
+  const auto dir = TempDir("gdr_cache_corrupt");
+  WorkloadCacheOptions options;
+  options.cache_dir = dir.string();
+  {
+    WorkloadCache cache(options);
+    ASSERT_TRUE(cache.Resolve(kSpec).ok());
+  }
+  // Truncate the exported clean table; meta.txt still marks the entry
+  // complete, so the load is attempted and must fail cleanly.
+  bool truncated = false;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    for (const auto& file : std::filesystem::directory_iterator(entry)) {
+      if (file.path().extension() == ".csv") {
+        std::ofstream clobber(file.path(), std::ios::trunc);
+        clobber << "City\n";  // wrong schema, wrong rows
+        truncated = true;
+      }
+    }
+  }
+  ASSERT_TRUE(truncated);
+
+  WorkloadCache cache(options);
+  auto dataset = cache.Resolve(kSpec);
+  ASSERT_TRUE(dataset.ok());
+  EXPECT_EQ(cache.counters().disk_hits, 0u);
+  EXPECT_EQ(cache.counters().misses, 1u);
+  EXPECT_EQ((*dataset)->dirty.num_rows(), 150u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(WorkloadCacheTest, ParseErrorsPropagate) {
+  WorkloadCache cache;
+  EXPECT_FALSE(cache.Resolve(":records=1").ok());
+  EXPECT_FALSE(cache.Resolve("no-such-workload:x=1").ok());
+}
+
+}  // namespace
+}  // namespace gdr
