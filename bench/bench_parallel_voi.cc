@@ -12,12 +12,17 @@
 // the JSON so a 1-core CI result is not mistaken for a regression.
 //
 // Also emits BENCH_hotpath.json: the single-thread hot-path numbers
-// (index-build seconds, UpdateBenefit ns/update with the reusable scratch
-// delta vs a fresh delta per update, full serial Rank() seconds) so the
-// perf trajectory tracks single-thread constant factors, not just
-// parallel speedup — on 1-core bench hardware the constant factors are
-// the whole story. `scores_match` in that file asserts the scratch-reuse
-// path scores bit-identically to fresh-delta evaluation.
+// (index-build seconds, UpdateBenefit ns/update for the reusable scratch
+// delta, a fresh delta per update, and the group-batched closed-form
+// probes, full serial Rank() seconds) so the perf trajectory tracks
+// single-thread constant factors, not just parallel speedup — on 1-core
+// bench hardware the constant factors are the whole story. The three
+// benefit passes run interleaved within every repeat so old and new see
+// the same thermal/cache conditions; per-group-size buckets and a
+// group-size histogram localize where batching pays. `scores_match`
+// asserts all evaluation paths (and both Rank modes) score
+// bit-identically. Exit 2 = score mismatch; exit 3 = batched slower than
+// the scratch delta it replaced.
 //
 // Flags: --workload=name:key=val,... (default dataset1, parameterized by
 //        the legacy flags below; the first workload is measured)
@@ -25,7 +30,9 @@
 //        --repeats=R (default 5, best-of) --threads-max=T (default 8)
 //        --out=PATH (default BENCH_voi.json)
 //        --hotpath-out=PATH (default BENCH_hotpath.json)
+#include <array>
 #include <cstdio>
+#include <map>
 #include <memory>
 #include <string>
 #include <thread>
@@ -48,6 +55,34 @@ struct Measurement {
   double speedup = 1.0;   // serial seconds / this
   bool scores_match = true;
 };
+
+// Power-of-two-ish group-size buckets for the per-bucket hot-path numbers:
+// batching amortizes staging over group size, so the win should grow with
+// the bucket and the size-1 bucket bounds the staging overhead.
+struct Bucket {
+  const char* label;
+  std::size_t max;  // inclusive upper bound on group size
+};
+
+constexpr std::size_t kNumBuckets = 6;
+
+std::array<Bucket, kNumBuckets> BucketBounds() {
+  return {{{"1", 1},
+           {"2-3", 3},
+           {"4-7", 7},
+           {"8-15", 15},
+           {"16-31", 31},
+           {"32+", static_cast<std::size_t>(-1)}}};
+}
+
+std::size_t BucketOf(std::size_t size) {
+  if (size <= 1) return 0;
+  if (size <= 3) return 1;
+  if (size <= 7) return 2;
+  if (size <= 15) return 3;
+  if (size <= 31) return 4;
+  return 5;
+}
 
 double TimeRank(const VoiRanker& ranker, const std::vector<UpdateGroup>& groups,
                 int repeats, VoiRanker::Ranking* out) {
@@ -130,49 +165,130 @@ int RunBench(int argc, char** argv) {
     }
   }
 
-  // UpdateBenefit over every pooled update: once with one reused scratch
-  // delta (the ranking inner loop), once constructing a delta per update
-  // (the pre-scratch contract), verifying bit-identical benefits.
+  // UpdateBenefit over every pooled update, three ways: the reused scratch
+  // delta (the pre-batching ranking inner loop), a fresh delta per update
+  // (the pre-scratch contract), and the group-batched closed-form probes
+  // (the current inner loop). The three passes are interleaved within each
+  // repeat — back-to-back over the same groups — so frequency scaling or
+  // cache warm-up hits old and new equally, and all benefits must be
+  // bit-identical.
   std::vector<Update> flat;
   flat.reserve(updates);
   for (const UpdateGroup& group : groups) {
     flat.insert(flat.end(), group.updates.begin(), group.updates.end());
   }
-  std::vector<double> reuse_benefits(flat.size(), 0.0);
-  double reuse_seconds = -1.0;
+  const std::array<Bucket, kNumBuckets> bucket_bounds = BucketBounds();
+  std::array<std::size_t, kNumBuckets> bucket_groups{};
+  std::array<std::size_t, kNumBuckets> bucket_updates{};
+  std::map<std::size_t, std::size_t> size_histogram;
+  for (const UpdateGroup& group : groups) {
+    const std::size_t b = BucketOf(group.size());
+    ++bucket_groups[b];
+    bucket_updates[b] += group.size();
+    ++size_histogram[group.size()];
+  }
+
+  std::vector<double> scratch_benefits(flat.size(), 0.0);
+  std::vector<double> fresh_benefits(flat.size(), 0.0);
+  std::vector<double> batched_benefits(flat.size(), 0.0);
+  double scratch_seconds = -1.0;
+  double fresh_seconds = -1.0;
+  double batched_seconds = -1.0;
+  std::array<double, kNumBuckets> scratch_bucket_seconds{};
+  std::array<double, kNumBuckets> batched_bucket_seconds{};
   for (int r = 0; r < repeats; ++r) {
-    ViolationDelta scratch(&engine.index());
-    Stopwatch watch;
-    for (std::size_t i = 0; i < flat.size(); ++i) {
-      reuse_benefits[i] = serial.UpdateBenefit(flat[i], &scratch);
+    {  // old: one reused ViolationDelta, per-update staging
+      ViolationDelta scratch(&engine.index());
+      std::array<double, kNumBuckets> buckets{};
+      double total = 0.0;
+      std::size_t i = 0;
+      for (const UpdateGroup& group : groups) {
+        Stopwatch watch;
+        for (const Update& update : group.updates) {
+          scratch_benefits[i++] = serial.UpdateBenefit(update, &scratch);
+        }
+        const double seconds = watch.ElapsedSeconds();
+        buckets[BucketOf(group.size())] += seconds;
+        total += seconds;
+      }
+      if (scratch_seconds < 0.0 || total < scratch_seconds) {
+        scratch_seconds = total;
+        scratch_bucket_seconds = buckets;
+      }
     }
-    const double seconds = watch.ElapsedSeconds();
-    if (reuse_seconds < 0.0 || seconds < reuse_seconds) {
-      reuse_seconds = seconds;
+    {  // older still: a fresh delta constructed per update
+      Stopwatch watch;
+      for (std::size_t i = 0; i < flat.size(); ++i) {
+        fresh_benefits[i] = serial.UpdateBenefit(flat[i]);
+      }
+      const double seconds = watch.ElapsedSeconds();
+      if (fresh_seconds < 0.0 || seconds < fresh_seconds) {
+        fresh_seconds = seconds;
+      }
+    }
+    {  // new: one HypotheticalBatch staged per group, closed-form probes
+      HypotheticalBatch batch(&engine.index());
+      std::array<double, kNumBuckets> buckets{};
+      double total = 0.0;
+      std::size_t i = 0;
+      for (const UpdateGroup& group : groups) {
+        Stopwatch watch;
+        for (const Update& update : group.updates) {
+          batched_benefits[i++] = serial.UpdateBenefit(update, &batch);
+        }
+        const double seconds = watch.ElapsedSeconds();
+        buckets[BucketOf(group.size())] += seconds;
+        total += seconds;
+      }
+      if (batched_seconds < 0.0 || total < batched_seconds) {
+        batched_seconds = total;
+        batched_bucket_seconds = buckets;
+      }
     }
   }
-  std::vector<double> construct_benefits(flat.size(), 0.0);
-  double construct_seconds = -1.0;
-  for (int r = 0; r < repeats; ++r) {
-    Stopwatch watch;
-    for (std::size_t i = 0; i < flat.size(); ++i) {
-      construct_benefits[i] = serial.UpdateBenefit(flat[i]);
-    }
-    const double seconds = watch.ElapsedSeconds();
-    if (construct_seconds < 0.0 || seconds < construct_seconds) {
-      construct_seconds = seconds;
-    }
-  }
-  const bool benefits_match = reuse_benefits == construct_benefits;
+  const bool benefits_match = scratch_benefits == fresh_benefits &&
+                              scratch_benefits == batched_benefits;
   const double ns_per_update_reuse =
-      flat.empty() ? 0.0 : reuse_seconds / flat.size() * 1e9;
+      flat.empty() ? 0.0 : scratch_seconds / flat.size() * 1e9;
   const double ns_per_update_construct =
-      flat.empty() ? 0.0 : construct_seconds / flat.size() * 1e9;
+      flat.empty() ? 0.0 : fresh_seconds / flat.size() * 1e9;
+  const double ns_per_update_batched =
+      flat.empty() ? 0.0 : batched_seconds / flat.size() * 1e9;
+  const double batched_speedup =
+      batched_seconds > 0.0 ? scratch_seconds / batched_seconds : 0.0;
   std::printf(
-      "hotpath: build=%.4fs benefit-reuse=%.0fns benefit-construct=%.0fns "
-      "serial-rank=%.4fs benefits-match=%s\n",
+      "hotpath: build=%.4fs benefit-scratch=%.0fns benefit-fresh=%.0fns "
+      "benefit-batched=%.0fns (%.2fx vs scratch) serial-rank=%.4fs "
+      "benefits-match=%s\n",
       build_seconds, ns_per_update_reuse, ns_per_update_construct,
-      serial_seconds, benefits_match ? "yes" : "NO");
+      ns_per_update_batched, batched_speedup, serial_seconds,
+      benefits_match ? "yes" : "NO");
+  std::printf("%10s %7s %8s %11s %11s %8s\n", "group-size", "groups",
+              "updates", "scratch-ns", "batched-ns", "speedup");
+  for (std::size_t b = 0; b < kNumBuckets; ++b) {
+    if (bucket_groups[b] == 0) continue;
+    const double n = static_cast<double>(bucket_updates[b]);
+    const double scratch_ns = scratch_bucket_seconds[b] / n * 1e9;
+    const double batched_ns = batched_bucket_seconds[b] / n * 1e9;
+    std::printf("%10s %7zu %8zu %11.0f %11.0f %7.2fx\n",
+                bucket_bounds[b].label, bucket_groups[b], bucket_updates[b],
+                scratch_ns, batched_ns,
+                batched_ns > 0.0 ? scratch_ns / batched_ns : 0.0);
+  }
+
+  // Batched Rank must also agree with the per-update-oracle mode end to
+  // end — same scores, same chosen order.
+  VoiRanker oracle_ranker(&engine.index(), &engine.rule_weights(), nullptr,
+                          VoiRanker::ScoringMode::kPerUpdateOracle);
+  VoiRanker::Ranking oracle_ranking;
+  const double oracle_rank_seconds =
+      TimeRank(oracle_ranker, groups, repeats, &oracle_ranking);
+  const bool rank_modes_match =
+      oracle_ranking.scores == reference.scores &&
+      oracle_ranking.order == reference.order;
+  std::printf("rank: batched=%.4fs oracle=%.4fs modes-match=%s\n",
+              serial_seconds, oracle_rank_seconds,
+              rank_modes_match ? "yes" : "NO");
 
   std::vector<Measurement> results;
   results.push_back({1, serial_seconds, 1.0, true});
@@ -247,19 +363,56 @@ int RunBench(int argc, char** argv) {
         "  \"index_build_seconds\": %.6f,\n"
         "  \"update_benefit_ns_scratch_reuse\": %.1f,\n"
         "  \"update_benefit_ns_fresh_delta\": %.1f,\n"
+        "  \"update_benefit_ns_batched\": %.1f,\n"
+        "  \"batched_speedup_vs_scratch\": %.3f,\n"
         "  \"serial_rank_seconds\": %.6f,\n"
-        "  \"scores_match\": %s\n"
-        "}\n",
+        "  \"oracle_rank_seconds\": %.6f,\n"
+        "  \"scores_match\": %s,\n",
         dataset.name.c_str(), specs.front().c_str(), resolved_rows,
         groups.size(), updates, repeats, std::thread::hardware_concurrency(),
         build_seconds, ns_per_update_reuse, ns_per_update_construct,
-        serial_seconds, benefits_match && all_match ? "true" : "false");
+        ns_per_update_batched, batched_speedup, serial_seconds,
+        oracle_rank_seconds,
+        benefits_match && all_match && rank_modes_match ? "true" : "false");
+    std::fprintf(out, "  \"group_size_buckets\": [\n");
+    bool first_bucket = true;
+    for (std::size_t b = 0; b < kNumBuckets; ++b) {
+      if (bucket_groups[b] == 0) continue;
+      const double n = static_cast<double>(bucket_updates[b]);
+      std::fprintf(out,
+                   "%s    {\"sizes\": \"%s\", \"groups\": %zu, "
+                   "\"updates\": %zu, \"scratch_ns\": %.1f, "
+                   "\"batched_ns\": %.1f}",
+                   first_bucket ? "" : ",\n", bucket_bounds[b].label,
+                   bucket_groups[b], bucket_updates[b],
+                   scratch_bucket_seconds[b] / n * 1e9,
+                   batched_bucket_seconds[b] / n * 1e9);
+      first_bucket = false;
+    }
+    std::fprintf(out, "\n  ],\n  \"group_size_histogram\": [");
+    bool first_size = true;
+    for (const auto& [size, count] : size_histogram) {
+      std::fprintf(out, "%s{\"size\": %zu, \"groups\": %zu}",
+                   first_size ? "" : ", ", size, count);
+      first_size = false;
+    }
+    std::fprintf(out, "]\n}\n");
     std::fclose(out);
     std::printf("wrote %s\n", hotpath_path.c_str());
   } else {
     std::printf("could not write %s\n", hotpath_path.c_str());
   }
-  return all_match && benefits_match ? 0 : 2;
+  if (!(all_match && benefits_match && rank_modes_match)) return 2;
+  // The perf gate: the batched inner loop must not lose to the scratch
+  // delta it replaced at this workload's scale.
+  if (batched_seconds > scratch_seconds) {
+    std::fprintf(stderr,
+                 "FAIL: batched scoring slower than scratch-delta "
+                 "(%.0fns vs %.0fns per update)\n",
+                 ns_per_update_batched, ns_per_update_reuse);
+    return 3;
+  }
+  return 0;
 }
 
 }  // namespace

@@ -94,17 +94,17 @@ int Run(int argc, char** argv) {
               report.cells.size(), config.workloads.size(),
               config.strategies.size(), config.shard_counts.size(),
               config.thread_counts.size(), report.hardware_concurrency);
-  std::printf("%-28s %-16s %3s %3s %8s %8s %5s %6s %5s\n", "workload",
-              "strategy", "sh", "th", "resolve", "wall", "imp%", "fb",
-              "flags");
+  std::printf("%-28s %-16s %3s %3s %8s %8s %5s %5s %6s %5s\n", "workload",
+              "strategy", "sh", "th", "resolve", "wall", "skew", "imp%",
+              "fb", "flags");
   for (const plane::SweepCell& cell : report.cells) {
-    std::printf("%-28.28s %-16s %3zu %3zu %7.3fs %7.3fs %5.1f %6zu %c%c%c\n",
-                cell.workload_name.c_str(), cell.strategy.c_str(),
-                cell.shard_count, cell.thread_count, cell.resolve_seconds,
-                cell.wall_seconds, cell.final_improvement_pct,
-                cell.user_feedback, cell.cache_hit ? 'C' : '-',
-                cell.merge_deterministic ? 'D' : '!',
-                cell.fingerprint_consistent ? 'F' : '!');
+    std::printf(
+        "%-28.28s %-16s %3zu %3zu %7.3fs %7.3fs %5.2f %5.1f %6zu %c%c%c\n",
+        cell.workload_name.c_str(), cell.strategy.c_str(), cell.shard_count,
+        cell.thread_count, cell.resolve_seconds, cell.wall_seconds,
+        cell.shard_skew, cell.final_improvement_pct, cell.user_feedback,
+        cell.cache_hit ? 'C' : '-', cell.merge_deterministic ? 'D' : '!',
+        cell.fingerprint_consistent ? 'F' : '!');
   }
   std::printf("cache: %zu memory hits, %zu disk hits, %zu misses, %zu "
               "collisions resolved\n",

@@ -7,12 +7,18 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <unordered_map>
+#include <vector>
 
+#include "core/gdr.h"
+#include "core/grouping.h"
 #include "core/quality.h"
 #include "core/voi.h"
 #include "ml/random_forest.h"
 #include "repair/update_generator.h"
+#include "sim/oracle.h"
 #include "sim/stream_gen.h"
+#include "util/flat_table.h"
 #include "util/rng.h"
 #include "util/string_similarity.h"
 #include "workload/registry.h"
@@ -307,6 +313,67 @@ void BM_UpdateGeneration(benchmark::State& state) {
 }
 BENCHMARK(BM_UpdateGeneration);
 
+// The key → GroupId map substrate, head-to-head: the violation index's
+// flat open-addressing table vs the std::unordered_map it replaced, over
+// small vector keys with the index's FNV-1a hash. Misses are as common as
+// hits on the hypothetical path, so half the probed keys are absent.
+using LookupKey = std::vector<ValueId>;
+
+struct LookupKeyHash {
+  std::size_t operator()(const LookupKey& key) const {
+    std::uint64_t h = 1469598103934665603ULL;
+    for (ValueId id : key) {
+      h ^= static_cast<std::uint64_t>(static_cast<std::uint32_t>(id));
+      h *= 1099511628211ULL;
+    }
+    return static_cast<std::size_t>(h);
+  }
+};
+
+constexpr std::size_t kLookupTableSize = 4096;
+
+std::vector<LookupKey> LookupBenchKeys() {
+  // 2x the table size: the second half never gets inserted (misses).
+  Rng rng(31);
+  std::vector<LookupKey> keys(2 * kLookupTableSize);
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    keys[i] = {static_cast<ValueId>(rng.NextBounded(1 << 16)),
+               static_cast<ValueId>(rng.NextBounded(1 << 16)),
+               static_cast<ValueId>(i)};  // distinct by construction
+  }
+  return keys;
+}
+
+void BM_FlatTableLookup(benchmark::State& state) {
+  const std::vector<LookupKey> keys = LookupBenchKeys();
+  FlatTable<LookupKey, std::uint32_t, LookupKeyHash> table;
+  for (std::size_t i = 0; i < kLookupTableSize; ++i) {
+    table.Insert(keys[i], static_cast<std::uint32_t>(i));
+  }
+  Rng rng(37);
+  for (auto _ : state) {
+    const LookupKey& key = keys[rng.NextBounded(keys.size())];
+    benchmark::DoNotOptimize(table.Find(key));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FlatTableLookup);
+
+void BM_UnorderedMapLookup(benchmark::State& state) {
+  const std::vector<LookupKey> keys = LookupBenchKeys();
+  std::unordered_map<LookupKey, std::uint32_t, LookupKeyHash> table;
+  for (std::size_t i = 0; i < kLookupTableSize; ++i) {
+    table.emplace(keys[i], static_cast<std::uint32_t>(i));
+  }
+  Rng rng(37);
+  for (auto _ : state) {
+    const LookupKey& key = keys[rng.NextBounded(keys.size())];
+    benchmark::DoNotOptimize(table.find(key));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_UnorderedMapLookup);
+
 void BM_VoiUpdateBenefit(benchmark::State& state) {
   const Dataset& dataset = SharedDataset();
   Table table = dataset.dirty;
@@ -336,6 +403,61 @@ void BM_VoiUpdateBenefit(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_VoiUpdateBenefit);
+
+// One full group-scoring pass over the engine's real round-one candidate
+// pool, batched closed-form probes vs the per-update delta oracle — the
+// ranking-layer view of the hot path BM_VoiUpdateBenefit measures per
+// call. Same groups, same scores (bit-identical by the voi_batched
+// suite); the gap is pure inner-loop cost.
+struct RankFixture {
+  explicit RankFixture(const Dataset& dataset)
+      : table(dataset.dirty),
+        oracle(&dataset.clean, {}),
+        engine(&table, &dataset.rules, &oracle, {}) {}
+  Table table;
+  UserOracle oracle;
+  GdrEngine engine;
+  std::vector<UpdateGroup> groups;
+  std::int64_t pooled_updates = 0;
+};
+
+RankFixture& SharedRankFixture() {
+  static RankFixture* fixture = []() {
+    auto* f = new RankFixture(SharedDataset());
+    if (!f->engine.Initialize().ok()) {
+      std::fprintf(stderr, "rank fixture: engine initialize failed\n");
+      std::exit(1);
+    }
+    f->groups = GroupUpdates(f->engine.pool());
+    for (const UpdateGroup& group : f->groups) {
+      f->pooled_updates += static_cast<std::int64_t>(group.size());
+    }
+    return f;
+  }();
+  return *fixture;
+}
+
+void TimeRankPass(benchmark::State& state, VoiRanker::ScoringMode mode) {
+  RankFixture& fixture = SharedRankFixture();
+  const VoiRanker ranker(&fixture.engine.index(),
+                         &fixture.engine.rule_weights(), nullptr, mode);
+  for (auto _ : state) {
+    const VoiRanker::Ranking ranking =
+        ranker.Rank(fixture.groups, [](const Update& u) { return u.score; });
+    benchmark::DoNotOptimize(ranking.order.data());
+  }
+  state.SetItemsProcessed(state.iterations() * fixture.pooled_updates);
+}
+
+void BM_ScoreGroupBatched(benchmark::State& state) {
+  TimeRankPass(state, VoiRanker::ScoringMode::kBatched);
+}
+BENCHMARK(BM_ScoreGroupBatched)->Unit(benchmark::kMillisecond);
+
+void BM_ScoreGroupPerUpdate(benchmark::State& state) {
+  TimeRankPass(state, VoiRanker::ScoringMode::kPerUpdateOracle);
+}
+BENCHMARK(BM_ScoreGroupPerUpdate)->Unit(benchmark::kMillisecond);
 
 void BM_EditDistance(benchmark::State& state) {
   const std::string a = "Michigan City";

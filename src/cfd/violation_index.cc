@@ -101,8 +101,9 @@ void ViolationIndex::BuildKey(const RuleStats& rs, RowId row,
 
 GroupId ViolationIndex::InternGroup(RuleStats& rs, RowId row) {
   BuildKey(rs, row, &key_scratch_);
-  auto it = rs.key_to_group.find(key_scratch_);
-  if (it != rs.key_to_group.end()) return it->second;
+  if (const GroupId* found = rs.key_to_group.Find(key_scratch_)) {
+    return *found;
+  }
 
   GroupId gid;
   if (!rs.free_groups.empty()) {
@@ -117,7 +118,7 @@ GroupId ViolationIndex::InternGroup(RuleStats& rs, RowId row) {
     rs.groups.back().key = key_scratch_;
     rs.members.emplace_back();
   }
-  rs.key_to_group.emplace(rs.groups[static_cast<std::size_t>(gid)].key, gid);
+  rs.key_to_group.Insert(rs.groups[static_cast<std::size_t>(gid)].key, gid);
   return gid;
 }
 
@@ -195,9 +196,9 @@ void ViolationIndex::RemoveRow(RuleStats& rs, RowId row) {
 void ViolationIndex::RetireGroupIfEmpty(RuleStats& rs, GroupId gid) {
   Group& g = rs.groups[static_cast<std::size_t>(gid)];
   if (g.total != 0) return;
-  rs.key_to_group.erase(g.key);
-  g.key.clear();     // clear(), not shrink: the slot keeps its capacity
-  g.counts.clear();  // for reuse through the free list
+  rs.key_to_group.Erase(g.key);
+  g.key.clear();  // clear(), not shrink: the slot keeps its capacity
+  g.Reset();      // for reuse through the free list
   rs.members[static_cast<std::size_t>(gid)].clear();
   rs.free_groups.push_back(gid);
 }
@@ -318,9 +319,9 @@ std::int64_t ViolationIndex::HypotheticalViolatedRuleCount(
       for (std::size_t k = 0; k < rs.lhs_attrs.size(); ++k) {
         hyp_key[k] = hyp_at(rs.lhs_attrs[k]);
       }
-      auto git = rs.key_to_group.find(hyp_key);
-      if (git == rs.key_to_group.end()) continue;  // fresh group
-      g = &rs.groups[static_cast<std::size_t>(git->second)];
+      const GroupId* git = rs.key_to_group.Find(hyp_key);
+      if (git == nullptr) continue;  // fresh group
+      g = &rs.groups[static_cast<std::size_t>(*git)];
       // The key moved, so the row cannot be a member of the target group.
     }
 
@@ -481,9 +482,8 @@ std::uint64_t ViolationDelta::ResolveKeyGroup(const RuleStats& rs,
   for (std::size_t i = 0; i < rs.lhs_attrs.size(); ++i) {
     key_scratch_[i] = ValueAt(row, rs.lhs_attrs[i]);
   }
-  auto it = rs.key_to_group.find(key_scratch_);
-  if (it != rs.key_to_group.end()) {
-    return static_cast<std::uint64_t>(it->second);
+  if (const GroupId* found = rs.key_to_group.Find(key_scratch_)) {
+    return static_cast<std::uint64_t>(*found);
   }
   // A key the base has never interned: give it a delta-local novel id.
   for (std::size_t i = 0; i < rd.novel_live; ++i) {
@@ -709,6 +709,157 @@ std::vector<RowId> ViolationDelta::DirtyRows() const {
     if (IsDirty(static_cast<RowId>(r))) out.push_back(static_cast<RowId>(r));
   }
   return out;
+}
+
+// ---------------------------------------------------------------------------
+// HypotheticalBatch
+// ---------------------------------------------------------------------------
+//
+// Every formula below is the closed form of what ViolationDelta::SetCell
+// computes by mutation: remove the row's contribution under its base
+// values, land the write, re-add under the hypothetical values. The
+// intermediates are the same integers the delta's Increment/Decrement
+// bookkeeping produces, which is what makes the resulting benefit doubles
+// bit-identical to the oracle path.
+
+HypotheticalBatch::HypotheticalBatch(const ViolationIndex* base)
+    : base_(base) {}
+
+void HypotheticalBatch::Stage(AttrId attr, ValueId value) {
+  if (attr == attr_ && value == value_ &&
+      staged_version_ == base_->version()) {
+    return;  // already staged against the current base state
+  }
+  attr_ = attr;
+  value_ = value;
+  staged_version_ = base_->version();
+  staged_.clear();
+  for (RuleId rule : base_->rules().RulesMentioning(attr)) {
+    StagedRule sr;
+    sr.rule = rule;
+    sr.rs = &base_->stats_[static_cast<std::size_t>(rule)];
+    sr.attr_in_lhs = sr.rs->attr_in_lhs[static_cast<std::size_t>(attr)] != 0;
+    sr.attr_is_rhs = sr.rs->rhs_attr == attr;
+    staged_.push_back(sr);
+  }
+}
+
+bool HypotheticalBatch::HypMatchesContext(const RuleStats& rs,
+                                          RowId row) const {
+  for (std::size_t i = 0; i < rs.lhs_attrs.size(); ++i) {
+    if (rs.lhs_consts[i] == kInvalidValueId) continue;
+    const ValueId v = rs.lhs_attrs[i] == attr_
+                          ? value_
+                          : base_->table().id_at(row, rs.lhs_attrs[i]);
+    if (v != rs.lhs_consts[i]) return false;
+  }
+  return true;
+}
+
+HypotheticalBatch::Effect HypotheticalBatch::Probe(std::size_t k, RowId row) {
+  const StagedRule& sr = staged_[k];
+  const RuleStats& rs = *sr.rs;
+  const Table& table = base_->table();
+
+  // Deltas relative to the base aggregates; Probe assumes an effective
+  // write (base value at (row, attr) ≠ staged value — the IsNoOp contract).
+  std::int64_t d_vio = 0;  // vio(D^rj) − vio(D)
+  std::int64_t d_vt = 0;   // violating-tuple delta
+  std::int64_t d_ctx = 0;  // |D(φ)| delta
+
+  if (rs.is_constant) {
+    if (!sr.attr_in_lhs) {
+      // attr is the RHS only: the context cannot move. In context, the
+      // row's violation flag flips to (value ≠ tp[A]).
+      if (base_->MatchesContext(rs, row)) {
+        const std::int64_t old_vio = rs.ViolatesFlag(row) ? 1 : 0;
+        const std::int64_t new_vio = value_ != rs.rhs_const ? 1 : 0;
+        d_vio = new_vio - old_vio;
+        d_vt = d_vio;
+      }
+    } else {
+      // attr sits in X (and possibly is also the RHS): both the context
+      // and the violation flag are re-derived under hypothetical values.
+      const std::int64_t old_ctx = base_->MatchesContext(rs, row) ? 1 : 0;
+      const std::int64_t old_vio = rs.ViolatesFlag(row) ? 1 : 0;
+      const bool new_ctx = HypMatchesContext(rs, row);
+      std::int64_t new_vio = 0;
+      if (new_ctx) {
+        const ValueId rhs =
+            sr.attr_is_rhs ? value_ : table.id_at(row, rs.rhs_attr);
+        new_vio = rhs != rs.rhs_const ? 1 : 0;
+      }
+      d_vio = new_vio - old_vio;
+      d_vt = d_vio;
+      d_ctx = (new_ctx ? 1 : 0) - old_ctx;
+    }
+  } else if (!sr.attr_in_lhs) {
+    // Variable rule, attr is the RHS: the row stays in its group (if any);
+    // within it one b_old is swapped for the staged value. With group size
+    // n, c_old = count(b_old), c_new = count(value): the pair-violation
+    // sum n² − Σc² moves by 2(c_old − c_new) − 2, and the violating-tuple
+    // count is n iff the group still holds ≥ 2 distinct values.
+    const GroupId gid = rs.GroupIdOf(row);
+    if (gid != kNoGroup) {
+      const GroupCounts& g = rs.groups[static_cast<std::size_t>(gid)];
+      const std::int64_t n = g.total;
+      const std::int64_t c_old = g.CountOf(table.id_at(row, rs.rhs_attr));
+      const std::int64_t c_new = g.CountOf(value_);
+      d_vio = 2 * (c_old - c_new) - 2;
+      const std::int64_t d0 = g.Distinct();
+      const std::int64_t d_after =
+          d0 - (c_old == 1 ? 1 : 0) + (c_new == 0 ? 1 : 0);
+      d_vt = (d_after > 1 ? n : 0) - (d0 > 1 ? n : 0);
+    }
+  } else {
+    // Variable rule, attr in X: the write moves the row's LHS key, so the
+    // row leaves its current group and (context permitting) joins the
+    // group of the hypothetical key — never the same group, since the key
+    // differs at the written component.
+    const ValueId b_rm = table.id_at(row, rs.rhs_attr);
+    const GroupId gid = rs.GroupIdOf(row);
+    if (gid != kNoGroup) {
+      // Leave: group (n, Σc², d0 distinct) loses one b_rm. Pair
+      // violations move by (n−1)² − (Σc² − 2c + 1) minus n² − Σc²,
+      // i.e. 2(c − n).
+      const GroupCounts& g = rs.groups[static_cast<std::size_t>(gid)];
+      const std::int64_t n = g.total;
+      const std::int64_t c = g.CountOf(b_rm);
+      const std::int64_t d0 = g.Distinct();
+      const std::int64_t d1 = d0 - (c == 1 ? 1 : 0);
+      d_vio += 2 * (c - n);
+      d_vt += (d1 > 1 ? n - 1 : 0) - (d0 > 1 ? n : 0);
+      d_ctx -= 1;
+    }
+    if (HypMatchesContext(rs, row)) {
+      d_ctx += 1;
+      key_scratch_.resize(rs.lhs_attrs.size());
+      for (std::size_t i = 0; i < rs.lhs_attrs.size(); ++i) {
+        key_scratch_[i] = rs.lhs_attrs[i] == attr_
+                              ? value_
+                              : table.id_at(row, rs.lhs_attrs[i]);
+      }
+      if (const GroupId* found = rs.key_to_group.Find(key_scratch_)) {
+        // Join: target group (n, Σc², d0) gains one b_add. Pair
+        // violations move by 2(n − c). A miss means a novel singleton
+        // group — zero pairs, one distinct value, nothing to add.
+        const GroupCounts& g2 = rs.groups[static_cast<std::size_t>(*found)];
+        const ValueId b_add = sr.attr_is_rhs ? value_ : b_rm;
+        const std::int64_t n = g2.total;
+        const std::int64_t c = g2.CountOf(b_add);
+        const std::int64_t d0 = g2.Distinct();
+        const std::int64_t d_after = d0 + (c == 0 ? 1 : 0);
+        d_vio += 2 * (n - c);
+        d_vt += (d_after > 1 ? n + 1 : 0) - (d0 > 1 ? n : 0);
+      }
+    }
+  }
+
+  Effect effect;
+  effect.adjustment = d_vio;
+  effect.satisfying =
+      (rs.context_count + d_ctx) - (rs.violating_tuples + d_vt);
+  return effect;
 }
 
 }  // namespace gdr

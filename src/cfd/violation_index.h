@@ -9,6 +9,7 @@
 
 #include "cfd/cfd.h"
 #include "data/table.h"
+#include "util/flat_table.h"
 #include "util/result.h"
 
 namespace gdr {
@@ -203,38 +204,50 @@ class ViolationIndex {
   // c_a: pair violations within the group are n^2 - sum(c_a^2) (each
   // ordered pair with differing RHS), and the number of violating tuples
   // is n when the group has >= 2 distinct RHS values, else 0. The counts
-  // live in a sorted (ValueId, count) small-vector: cheaper to probe and
-  // to copy than a hash map at the 1–3 distinct values groups typically
-  // hold. GroupCounts is the tally core shared with ViolationDelta's
-  // overlay groups (which have no use for the owning key).
+  // are laid out SoA — parallel sorted values[] / counts[] arrays — so the
+  // CountOf scan is a straight-line predicated pass over a contiguous
+  // ValueId array (no pair-stride gather, no early-exit branch) that the
+  // auto-vectorizer handles, and copies/resets are flat array runs.
+  // Groups overwhelmingly hold 1–3 distinct RHS values, so the layout wins
+  // on scan shape, not size. GroupCounts is the tally core shared with
+  // ViolationDelta's overlay groups and HypotheticalBatch's closed-form
+  // probes (neither has use for the owning key).
   struct GroupCounts {
     std::int64_t total = 0;
     std::int64_t sum_sq = 0;  // sum over a of c_a^2
-    std::vector<std::pair<ValueId, std::int64_t>> counts;
+    std::vector<ValueId> values;       // distinct RHS values, ascending
+    std::vector<std::int64_t> counts;  // aligned with values; all > 0
 
     std::int64_t PairViolations() const { return total * total - sum_sq; }
     std::int64_t ViolatingTuples() const {
-      return counts.size() > 1 ? total : 0;
+      return values.size() > 1 ? total : 0;
+    }
+    std::int64_t Distinct() const {
+      return static_cast<std::int64_t>(values.size());
     }
 
     std::int64_t CountOf(ValueId value) const {
-      for (const auto& [v, c] : counts) {
-        if (v == value) return c;
-        if (v > value) break;
+      // Each value appears at most once, so the predicated sum *is* its
+      // count (0 when absent). Deliberately no early exit: at the 1–3
+      // distinct values groups typically hold, the branchless form beats
+      // the compare-and-break loop and vectorizes.
+      std::int64_t c = 0;
+      for (std::size_t i = 0; i < values.size(); ++i) {
+        c += values[i] == value ? counts[i] : 0;
       }
-      return 0;
+      return c;
     }
 
-    /// counts[value] += 1 and maintains sum_sq; keeps the vector sorted.
+    /// counts[value] += 1 and maintains sum_sq; keeps both arrays sorted.
     void Increment(ValueId value) {
       std::size_t i = 0;
-      while (i < counts.size() && counts[i].first < value) ++i;
-      if (i == counts.size() || counts[i].first != value) {
-        counts.insert(counts.begin() + static_cast<std::ptrdiff_t>(i),
-                      {value, 0});
+      while (i < values.size() && values[i] < value) ++i;
+      if (i == values.size() || values[i] != value) {
+        values.insert(values.begin() + static_cast<std::ptrdiff_t>(i), value);
+        counts.insert(counts.begin() + static_cast<std::ptrdiff_t>(i), 0);
       }
-      sum_sq += 2 * counts[i].second + 1;
-      ++counts[i].second;
+      sum_sq += 2 * counts[i] + 1;
+      ++counts[i];
       ++total;
     }
 
@@ -243,11 +256,12 @@ class ViolationIndex {
     /// reachable through remove-paths for rows previously added.
     void Decrement(ValueId value) {
       std::size_t i = 0;
-      while (i < counts.size() && counts[i].first != value) ++i;
-      assert(i < counts.size() && counts[i].second > 0);
-      sum_sq -= 2 * counts[i].second - 1;
-      --counts[i].second;
-      if (counts[i].second == 0) {
+      while (i < values.size() && values[i] != value) ++i;
+      assert(i < values.size() && counts[i] > 0);
+      sum_sq -= 2 * counts[i] - 1;
+      --counts[i];
+      if (counts[i] == 0) {
+        values.erase(values.begin() + static_cast<std::ptrdiff_t>(i));
         counts.erase(counts.begin() + static_cast<std::ptrdiff_t>(i));
       }
       --total;
@@ -256,12 +270,14 @@ class ViolationIndex {
     void Reset() {
       total = 0;
       sum_sq = 0;
-      counts.clear();  // clear() keeps capacity for slot reuse
+      values.clear();  // clear() keeps capacity for slot reuse
+      counts.clear();
     }
 
     void CopyFrom(const GroupCounts& other) {
       total = other.total;
       sum_sq = other.sum_sq;
+      values.assign(other.values.begin(), other.values.end());
       counts.assign(other.counts.begin(), other.counts.end());
     }
   };
@@ -294,12 +310,16 @@ class ViolationIndex {
     // Variable rules: the flattened group layout. row_group is the query
     // hot path (one array read); groups/members are dense storage indexed
     // by GroupId and recycled via free_groups; key_to_group serves the
-    // mutation path and hypothetical-key lookups only.
+    // mutation path and hypothetical-key lookups only. It is a flat
+    // open-addressing table rather than std::unordered_map because the
+    // hypothetical-key path (HypotheticalViolatedRuleCount, the delta's
+    // ResolveKeyGroup, and every batched LHS-moving probe) makes it hot:
+    // one contiguous probe run per lookup instead of a node chase.
     std::vector<GroupId> row_group;  // row -> GroupId, kNoGroup = no context
     std::vector<Group> groups;
     std::vector<std::vector<RowId>> members;
     std::vector<GroupId> free_groups;
-    std::unordered_map<GroupKey, GroupId, GroupKeyHash> key_to_group;
+    FlatTable<GroupKey, GroupId, GroupKeyHash> key_to_group;
 
     // Query-path accessors; bounds-guarded so rows appended to the table
     // but not yet indexed read as "outside the context" rather than UB.
@@ -329,6 +349,7 @@ class ViolationIndex {
   void AddRow(RuleStats& rs, RowId row);
 
   friend class ViolationDelta;
+  friend class HypotheticalBatch;
 
   Table* table_;
   const RuleSet* rules_;
@@ -587,6 +608,95 @@ class ViolationDelta {
   std::vector<RuleId> touched_;   // rules with touched=true
   GroupKey key_scratch_;          // mutation-path scratch
   std::vector<std::uint64_t> group_hints_;  // SetCell Remove→Add handoff
+};
+
+/// Closed-form evaluator for batches of single-cell hypotheticals that
+/// share one (attr, value) write target — exactly the shape of a VOI
+/// update group, whose members differ only by row. Where ViolationDelta
+/// answers "what does the overlaid database look like" by replaying the
+/// base's incremental maintenance (copy-on-write group tallies, override
+/// vectors, a Discard() sweep — all per update), HypotheticalBatch stages
+/// the *shared* part once and answers each row's per-rule effect with pure
+/// integer reads against the immutable base:
+///
+///   Stage(attr, value)   resolves the affected rules and their per-rule
+///                        invariants (attr ∈ X?, attr = A?) — once per
+///                        group instead of once per update.
+///   Probe(k, row)        the k-th affected rule's violation-count
+///                        adjustment and |D^rj ⊨ φ| under the write, from
+///                        closed-form count arithmetic on the base's group
+///                        tallies. No state is written (besides the key
+///                        scratch), so nothing needs discarding.
+///
+/// The arithmetic mirrors ViolationDelta::SetCell's remove-then-add
+/// discipline exactly — same integer intermediates, hence bit-identical
+/// benefit doubles — and the differential suites pin it against that
+/// oracle at every thread count.
+///
+/// Contract: Probe assumes the write is effective at the probed row
+/// (base value ≠ staged value); callers test IsNoOp(row) first and short-
+/// circuit to a zero benefit, matching the oracle's SetCell early return.
+/// The base must outlive the batch and must not be mutated mid-probe;
+/// Stage() revalidates against base->version(), so a stale staging is
+/// refreshed on the next call. One batch per worker thread (the key
+/// scratch makes Probe non-reentrant); copy/construct freely.
+class HypotheticalBatch {
+ public:
+  explicit HypotheticalBatch(const ViolationIndex* base);
+
+  const ViolationIndex& base() const { return *base_; }
+
+  /// (Re)stages the batch for hypothetical writes of `value` into `attr`.
+  /// A no-op when that exact target is already staged against the base's
+  /// current version — the group-batched hot loop calls this per update
+  /// and pays only once per group.
+  void Stage(AttrId attr, ValueId value);
+
+  AttrId staged_attr() const { return attr_; }
+  ValueId staged_value() const { return value_; }
+
+  /// Rules mentioning the staged attribute, in RulesMentioning order (the
+  /// accumulation order every scoring path shares).
+  std::size_t num_affected() const { return staged_.size(); }
+  RuleId affected_rule(std::size_t k) const { return staged_[k].rule; }
+
+  /// True when the base already holds the staged value at (row, attr): the
+  /// write is a whole-row no-op and every rule effect is exactly zero.
+  bool IsNoOp(RowId row) const {
+    return base_->table().id_at(row, attr_) == value_;
+  }
+
+  struct Effect {
+    std::int64_t adjustment = 0;  // vio(D^rj, {φ}) − vio(D, {φ})
+    std::int64_t satisfying = 0;  // |D^rj ⊨ φ|
+  };
+
+  /// Effect of the staged write applied at `row` on affected rule k.
+  /// Requires !IsNoOp(row) (see the class contract).
+  Effect Probe(std::size_t k, RowId row);
+
+ private:
+  using RuleStats = ViolationIndex::RuleStats;
+  using GroupCounts = ViolationIndex::GroupCounts;
+  using GroupKey = ViolationIndex::GroupKey;
+
+  // Per-affected-rule facts that hold for every row of the batch.
+  struct StagedRule {
+    RuleId rule = 0;
+    const RuleStats* rs = nullptr;
+    bool attr_in_lhs = false;  // staged attr sits in the rule's X
+    bool attr_is_rhs = false;  // staged attr is the rule's A
+  };
+
+  // True when `row` matches rs's LHS pattern with the staged write applied.
+  bool HypMatchesContext(const RuleStats& rs, RowId row) const;
+
+  const ViolationIndex* base_;
+  std::uint64_t staged_version_ = ~0ull;  // never equals a live version()
+  AttrId attr_ = kInvalidAttrId;
+  ValueId value_ = kInvalidValueId;
+  std::vector<StagedRule> staged_;
+  GroupKey key_scratch_;  // LHS-moving probes build the hypothetical key here
 };
 
 }  // namespace gdr

@@ -76,7 +76,8 @@ Status GdrEngine::Initialize() {
     if (threads > 1) workers_ = std::make_unique<ThreadPool>(threads);
     ranking_pool = workers_.get();
   }
-  voi_ = std::make_unique<VoiRanker>(index_.get(), &weights_, ranking_pool);
+  voi_ = std::make_unique<VoiRanker>(index_.get(), &weights_, ranking_pool,
+                                     options_.voi_scoring);
 
   stats_ = GdrStats{};
   stats_.initial_dirty = manager_->Initialize();

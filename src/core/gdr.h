@@ -96,6 +96,12 @@ struct GdrOptions {
   /// threads. The pool must outlive the engine. Scores stay bit-identical:
   /// pool size never affects ranking output, only wall-clock time.
   ThreadPool* shared_pool = nullptr;
+  /// VOI scoring implementation: the group-batched closed-form path
+  /// (default) or the per-update delta oracle it is differentially pinned
+  /// against. Both produce bit-identical scores and ranking order — the
+  /// oracle exists for differential suites and perf comparison, never as a
+  /// correctness escape hatch.
+  VoiRanker::ScoringMode voi_scoring = VoiRanker::ScoringMode::kBatched;
 };
 
 /// Per-phase wall-clock timings (seconds), accumulated by the engine.

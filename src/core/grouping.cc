@@ -1,7 +1,5 @@
 #include "core/grouping.h"
 
-#include <algorithm>
-#include <map>
 #include <sstream>
 
 namespace gdr {
@@ -15,18 +13,20 @@ std::string UpdateGroup::ToString(const Table& table) const {
 }
 
 std::vector<UpdateGroup> GroupUpdates(const UpdatePool& pool) {
-  std::map<std::pair<AttrId, ValueId>, UpdateGroup> grouped;
-  for (const Update& update : pool.All()) {
-    UpdateGroup& group = grouped[{update.attr, update.value}];
-    group.attr = update.attr;
-    group.value = update.value;
-    group.updates.push_back(update);
-  }
+  // The group-major snapshot puts each (attr, value) group in one
+  // contiguous run, so grouping is a single linear pass: a new group
+  // starts exactly where the key changes. Output order — groups ascending
+  // by (attr, value), updates ascending by row — matches the old
+  // map-accumulation construction bit for bit.
   std::vector<UpdateGroup> out;
-  out.reserve(grouped.size());
-  for (auto& [key, group] : grouped) {
-    // pool.All() is (row, attr)-ordered, so updates are already row-sorted.
-    out.push_back(std::move(group));
+  for (const Update& update : pool.AllGroupedByValue()) {
+    if (out.empty() || out.back().attr != update.attr ||
+        out.back().value != update.value) {
+      out.emplace_back();
+      out.back().attr = update.attr;
+      out.back().value = update.value;
+    }
+    out.back().updates.push_back(update);
   }
   return out;
 }

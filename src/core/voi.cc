@@ -8,8 +8,9 @@
 namespace gdr {
 
 VoiRanker::VoiRanker(const ViolationIndex* index,
-                     const std::vector<double>* weights, ThreadPool* workers)
-    : index_(index), weights_(weights), workers_(workers) {}
+                     const std::vector<double>* weights, ThreadPool* workers,
+                     ScoringMode mode)
+    : index_(index), weights_(weights), workers_(workers), mode_(mode) {}
 
 double VoiRanker::UpdateBenefit(const Update& update,
                                 ViolationDelta* scratch) const {
@@ -47,15 +48,50 @@ double VoiRanker::UpdateBenefit(const Update& update) const {
   return UpdateBenefit(update, &scratch);
 }
 
+double VoiRanker::UpdateBenefit(const Update& update,
+                                HypotheticalBatch* batch) const {
+  // Within one group every update shares (attr, value), so this Stage is
+  // a cheap no-op after the group's first update — the staging cost the
+  // delta path pays per update is paid once per group here.
+  batch->Stage(update.attr, update.value);
+  const std::size_t affected = batch->num_affected();
+  if (affected == 0) return 0.0;
+  if (batch->IsNoOp(update.row)) return 0.0;  // oracle: SetCell early return
+
+  double benefit = 0.0;
+  for (std::size_t k = 0; k < affected; ++k) {
+    // Same rule order, same skip conditions, same integer inputs as the
+    // delta path — hence bit-identical accumulated doubles.
+    const HypotheticalBatch::Effect effect = batch->Probe(k, update.row);
+    if (effect.adjustment == 0) continue;
+    if (effect.satisfying <= 0) {
+      continue;  // no denominator: rule fully violated
+    }
+    benefit +=
+        (*weights_)[static_cast<std::size_t>(batch->affected_rule(k))] *
+        static_cast<double>(-effect.adjustment) /
+        static_cast<double>(effect.satisfying);
+  }
+  return benefit;
+}
+
 double VoiRanker::ScoreGroupTerms(const UpdateGroup& group,
                                   const std::vector<double>& probabilities,
-                                  ViolationDelta* scratch) const {
+                                  Scratch* scratch) const {
   // The one canonical accumulation: terms in update order, probability
   // times benefit. Every scoring path funnels through here, which is what
   // keeps scores bit-identical across serial, parallel, and ScoreGroup.
   double score = 0.0;
-  for (std::size_t j = 0; j < group.updates.size(); ++j) {
-    score += probabilities[j] * UpdateBenefit(group.updates[j], scratch);
+  if (mode_ == ScoringMode::kBatched) {
+    for (std::size_t j = 0; j < group.updates.size(); ++j) {
+      score +=
+          probabilities[j] * UpdateBenefit(group.updates[j], &scratch->batch);
+    }
+  } else {
+    for (std::size_t j = 0; j < group.updates.size(); ++j) {
+      score +=
+          probabilities[j] * UpdateBenefit(group.updates[j], &scratch->delta);
+    }
   }
   return score;
 }
@@ -73,7 +109,7 @@ void VoiRanker::FillProbabilities(
 double VoiRanker::ScoreGroup(
     const UpdateGroup& group,
     const ConfirmProbabilityFn& confirm_probability) const {
-  ViolationDelta scratch(index_);
+  Scratch scratch(index_);
   std::vector<double> probabilities;
   FillProbabilities(group, confirm_probability, &probabilities);
   return ScoreGroupTerms(group, probabilities, &scratch);
@@ -86,9 +122,9 @@ VoiRanker::Ranking VoiRanker::Rank(
   ranking.scores.assign(groups.size(), 0.0);
 
   if (workers_ == nullptr || workers_->size() <= 1 || groups.size() <= 1) {
-    // Serial path: one scratch delta and one probability buffer for the
-    // whole pass.
-    ViolationDelta scratch(index_);
+    // Serial path: one scratch and one probability buffer for the whole
+    // pass.
+    Scratch scratch(index_);
     std::vector<double> probabilities;
     for (std::size_t i = 0; i < groups.size(); ++i) {
       FillProbabilities(groups[i], confirm_probability, &probabilities);
@@ -101,10 +137,10 @@ VoiRanker::Ranking VoiRanker::Rank(
     for (std::size_t i = 0; i < groups.size(); ++i) {
       FillProbabilities(groups[i], confirm_probability, &probabilities[i]);
     }
-    // One scratch delta per executor slot (workers + the calling thread);
-    // each slot runs on exactly one thread, so its scratch needs no
+    // One scratch per executor slot (workers + the calling thread); each
+    // slot runs on exactly one thread, so its scratch needs no
     // synchronization and is reused across every group that slot scores.
-    std::vector<ViolationDelta> scratches;
+    std::vector<Scratch> scratches;
     scratches.reserve(workers_->size() + 1);
     for (std::size_t s = 0; s < workers_->size() + 1; ++s) {
       scratches.emplace_back(index_);

@@ -31,11 +31,18 @@ using ConfirmProbabilityFn = std::function<double(const Update&)>;
 /// counts cannot change) and are skipped.
 ///
 /// A ranking pass evaluates one hypothetical per pooled update — tens of
-/// thousands per Rank() on paper-scale workloads — so deltas follow the
-/// reusable-scratch contract: Rank() keeps exactly one delta per worker
-/// slot (one total on the serial path), staging and Discard()ing each
-/// hypothetical into it, which makes steady-state scoring allocation-free
-/// instead of constructing and destroying overlay state per update.
+/// thousands per Rank() on paper-scale workloads. Two implementations
+/// exist behind ScoringMode:
+///
+///   kBatched (default)  all updates of one group share an (attr, value)
+///       write target, so the group's context is staged once into a
+///       HypotheticalBatch and each update's benefit is a closed-form
+///       integer probe — no per-update delta staging, no copy-on-write
+///       group tallies, no Discard() sweep.
+///   kPerUpdateOracle    the PR 5 path: each hypothetical staged into a
+///       reusable-scratch ViolationDelta. Kept as the oracle the batched
+///       path is differentially pinned against (bit-identical scores AND
+///       ranking order at every thread count).
 ///
 /// When constructed with a ThreadPool, Rank() fans group evaluations out
 /// across the workers. Scores are reduced into per-group slots and each
@@ -43,14 +50,23 @@ using ConfirmProbabilityFn = std::function<double(const Update&)>;
 /// ranking output is bit-identical for every thread count.
 class VoiRanker {
  public:
+  enum class ScoringMode {
+    kBatched,          // group-batched closed-form probes (production)
+    kPerUpdateOracle,  // per-update delta staging (differential oracle)
+  };
+
   /// `index` is read-only; `weights` must have one entry per rule (Eq. 3
   /// weights); `workers` of nullptr means serial ranking. Non-owning
   /// pointers.
   VoiRanker(const ViolationIndex* index, const std::vector<double>* weights,
-            ThreadPool* workers = nullptr);
+            ThreadPool* workers = nullptr,
+            ScoringMode mode = ScoringMode::kBatched);
 
-  /// E[g(c)] for one group. Uses one internal scratch delta across the
-  /// group's updates.
+  ScoringMode scoring_mode() const { return mode_; }
+  void set_scoring_mode(ScoringMode mode) { mode_ = mode; }
+
+  /// E[g(c)] for one group. Uses one internal scratch (delta or batch, per
+  /// the scoring mode) across the group's updates.
   double ScoreGroup(const UpdateGroup& group,
                     const ConfirmProbabilityFn& confirm_probability) const;
 
@@ -65,6 +81,12 @@ class VoiRanker {
   /// one delta alive and pass it here — zero allocations at steady state.
   /// Safe to call concurrently with distinct scratch deltas.
   double UpdateBenefit(const Update& update, ViolationDelta* scratch) const;
+
+  /// Batched variant: restages `batch` when the update's (attr, value)
+  /// differs from what it holds (a no-op within one group) and probes the
+  /// closed forms. Bit-identical to the delta variants. Safe to call
+  /// concurrently with distinct batches.
+  double UpdateBenefit(const Update& update, HypotheticalBatch* batch) const;
 
   /// Scores all groups; returns indices into `groups` sorted by descending
   /// benefit (ties by ascending index), plus the scores themselves.
@@ -86,12 +108,22 @@ class VoiRanker {
                const ConfirmProbabilityFn& confirm_probability) const;
 
  private:
+  // Per-worker scoring state: the batched evaluator plus the delta the
+  // oracle mode stages into. Constructing both is cheap (vector resizes);
+  // only the active mode's half is touched on the hot path.
+  struct Scratch {
+    explicit Scratch(const ViolationIndex* index)
+        : delta(index), batch(index) {}
+    ViolationDelta delta;
+    HypotheticalBatch batch;
+  };
+
   // The one canonical per-group accumulation (terms in update order);
   // serial and parallel ranking and ScoreGroup all funnel through it,
-  // which is what keeps scores bit-identical across paths.
+  // which is what keeps scores bit-identical across paths and modes.
   double ScoreGroupTerms(const UpdateGroup& group,
                          const std::vector<double>& probabilities,
-                         ViolationDelta* scratch) const;
+                         Scratch* scratch) const;
   static void FillProbabilities(
       const UpdateGroup& group,
       const ConfirmProbabilityFn& confirm_probability,
@@ -100,6 +132,7 @@ class VoiRanker {
   const ViolationIndex* index_;
   const std::vector<double>* weights_;
   ThreadPool* workers_;
+  ScoringMode mode_;
 };
 
 }  // namespace gdr

@@ -139,6 +139,9 @@ Result<SweepReport> RunSweep(const SweepConfig& config) {
             cell.max_shard_seconds =
                 std::max(cell.max_shard_seconds, shard.wall_seconds);
           }
+          cell.shard_skew = cell.wall_seconds > 0.0
+                                ? cell.max_shard_seconds / cell.wall_seconds
+                                : 0.0;
           cell.user_feedback = outcome.merged.stats.user_feedback;
           cell.final_improvement_pct = outcome.merged.final_improvement_pct;
           cell.precision = outcome.merged.accuracy.Precision();
@@ -244,6 +247,7 @@ std::string SweepReportToJson(const SweepReport& report) {
         << ",\n";
     out << "      \"wall_seconds\": " << cell.wall_seconds << ",\n";
     out << "      \"max_shard_seconds\": " << cell.max_shard_seconds << ",\n";
+    out << "      \"shard_skew\": " << cell.shard_skew << ",\n";
     out << "      \"user_feedback\": " << cell.user_feedback << ",\n";
     out << "      \"final_improvement_pct\": " << cell.final_improvement_pct
         << ",\n";

@@ -53,6 +53,11 @@ struct SweepCell {
   bool cache_hit = false;        // memory or disk layer answered
   double wall_seconds = 0.0;     // sharded run end-to-end
   double max_shard_seconds = 0.0;  // slowest shard (the makespan floor)
+  /// Load-imbalance skew: max_shard_seconds / wall_seconds. Near 1.0 means
+  /// one straggler shard dominated the cell's wall clock (perfectly
+  /// balanced K-shard runs on K idle cores approach 1/K); 0 when the cell
+  /// recorded no wall time.
+  double shard_skew = 0.0;
 
   std::size_t user_feedback = 0;
   double final_improvement_pct = 0.0;

@@ -48,6 +48,13 @@ class UpdatePool {
   /// downstream grouping and ranking are deterministic.
   std::vector<Update> All() const;
 
+  /// Group-major snapshot: ordered by (attr, value, row), so every
+  /// (attribute, suggested value) group is one contiguous run — the
+  /// iteration order GroupUpdates consumes, turning grouping into a single
+  /// linear pass. (attr, value) runs appear in the same ascending order
+  /// the old map-based grouping produced, rows ascending within each.
+  std::vector<Update> AllGroupedByValue() const;
+
  private:
   std::unordered_map<CellKey, Update, CellKeyHash> pool_;
 };

@@ -24,6 +24,7 @@ Result<ExperimentResult> RunStrategyExperiment(
   options.seed = config.seed;
   options.num_threads = config.num_threads;
   options.shared_pool = config.shared_pool;
+  options.voi_scoring = config.voi_scoring;
 
   const Stopwatch wall_watch;
   GdrEngine engine(&working, &dataset.rules, &oracle, options);

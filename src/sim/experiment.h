@@ -50,6 +50,11 @@ struct ExperimentConfig {
   ThreadPool* shared_pool = nullptr;
   /// Entry point under test; results are identical either way.
   ExperimentDriver driver = ExperimentDriver::kEngineRun;
+  /// VOI scoring implementation (GdrOptions::voi_scoring): batched
+  /// closed-form probes (default) or the per-update delta oracle. Results
+  /// are bit-identical either way — the voi_batched differential suite
+  /// runs whole experiments under both to enforce exactly that.
+  VoiRanker::ScoringMode voi_scoring = VoiRanker::ScoringMode::kBatched;
 };
 
 struct ExperimentResult {

@@ -1,0 +1,199 @@
+#ifndef GDR_UTIL_FLAT_TABLE_H_
+#define GDR_UTIL_FLAT_TABLE_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace gdr {
+
+/// Flat open-addressing hash map for hot lookup paths, replacing
+/// std::unordered_map where the per-node allocation and pointer chase
+/// dominate (the violation index's key → GroupId table: hot on the
+/// mutation path and on every hypothetical-key probe of VOI scoring).
+///
+/// Layout: SoA slot arrays (occupancy bytes, cached hashes, keys, values)
+/// with power-of-two capacity and linear probing — one contiguous probe
+/// run per lookup instead of a bucket-list walk. Erase uses backward-shift
+/// deletion (no tombstones), so heavy insert/erase churn — the GroupId
+/// free-list recycling pattern — never degrades probe lengths the way
+/// tombstone schemes do.
+///
+/// Capacity-preserving reuse: assigning a key into a recycled slot reuses
+/// that slot's existing key storage (for vector-like keys this means no
+/// allocation at steady state), and Clear() keeps every array.
+///
+/// Semantics are the subset of std::unordered_map the index needs:
+/// Find / FindOrInsert / Insert / Erase / Clear / size. Keys must be
+/// equality-comparable; Hash must be stateless-default-constructible.
+/// Iteration order is unspecified (and changes across rehashes) — a
+/// ForEach visitor exists for tests and diagnostics only.
+template <typename Key, typename Value, typename Hash = std::hash<Key>,
+          typename Eq = std::equal_to<Key>>
+class FlatTable {
+ public:
+  FlatTable() = default;
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  /// Current slot count (live + empty); 0 before the first insert.
+  std::size_t capacity() const { return occupied_.size(); }
+
+  /// Pointer to the value stored under `key`, or nullptr. Never
+  /// invalidated by other Find calls; invalidated by any mutation.
+  const Value* Find(const Key& key) const {
+    if (size_ == 0) return nullptr;
+    const std::size_t slot = FindSlot(key, Hash{}(key));
+    return slot != kNoSlot ? &values_[slot] : nullptr;
+  }
+  Value* Find(const Key& key) {
+    return const_cast<Value*>(std::as_const(*this).Find(key));
+  }
+
+  bool Contains(const Key& key) const { return Find(key) != nullptr; }
+
+  /// Inserts (key, value); if the key is already present, overwrites the
+  /// value. Returns true when a new entry was created.
+  bool Insert(const Key& key, const Value& value) {
+    bool inserted = false;
+    Value& slot = FindOrInsert(key, &inserted);
+    slot = value;
+    return inserted;
+  }
+
+  /// The value slot for `key`, inserting a value-initialized entry when
+  /// absent. `inserted` (optional) reports whether the entry is new.
+  Value& FindOrInsert(const Key& key, bool* inserted = nullptr) {
+    const std::size_t hash = Hash{}(key);
+    if (!occupied_.empty()) {
+      const std::size_t slot = FindSlot(key, hash);
+      if (slot != kNoSlot) {
+        if (inserted != nullptr) *inserted = false;
+        return values_[slot];
+      }
+    }
+    if ((size_ + 1) * kLoadDen > capacity() * kLoadNum) {
+      Grow(capacity() == 0 ? kMinCapacity : capacity() * 2);
+    }
+    const std::size_t slot = InsertFresh(key, hash);
+    if (inserted != nullptr) *inserted = true;
+    return values_[slot];
+  }
+
+  /// Removes the entry for `key`; returns true if one was present.
+  /// Backward-shift deletion: trailing probe-run entries whose home slot
+  /// precedes the hole are moved back, so no tombstones accumulate.
+  bool Erase(const Key& key) {
+    if (size_ == 0) return false;
+    std::size_t hole = FindSlot(key, Hash{}(key));
+    if (hole == kNoSlot) return false;
+    const std::size_t mask = capacity() - 1;
+    std::size_t probe = (hole + 1) & mask;
+    while (occupied_[probe]) {
+      const std::size_t home = hashes_[probe] & mask;
+      // The entry at `probe` may fill the hole iff the hole lies on its
+      // probe path, i.e. it is displaced at least as far from home as the
+      // hole is ahead of it.
+      if (((probe - home) & mask) >= ((probe - hole) & mask)) {
+        hashes_[hole] = hashes_[probe];
+        keys_[hole] = std::move(keys_[probe]);
+        values_[hole] = std::move(values_[probe]);
+        hole = probe;
+      }
+      probe = (probe + 1) & mask;
+    }
+    occupied_[hole] = 0;
+    --size_;
+    return true;
+  }
+
+  /// Drops every entry but keeps every allocation (slot arrays and any
+  /// key-internal capacity) — the reusable-scratch idiom.
+  void Clear() {
+    std::fill(occupied_.begin(), occupied_.end(), std::uint8_t{0});
+    size_ = 0;
+  }
+
+  /// Pre-sizes the slot arrays for `n` entries without rehashing later.
+  void Reserve(std::size_t n) {
+    std::size_t target = kMinCapacity;
+    while (n * kLoadDen > target * kLoadNum) target *= 2;
+    if (target > capacity()) Grow(target);
+  }
+
+  /// Visits every (key, value) pair in unspecified order. Tests and
+  /// diagnostics only — not a hot-path API.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (std::size_t i = 0; i < occupied_.size(); ++i) {
+      if (occupied_[i]) fn(keys_[i], values_[i]);
+    }
+  }
+
+ private:
+  static constexpr std::size_t kNoSlot = static_cast<std::size_t>(-1);
+  static constexpr std::size_t kMinCapacity = 16;
+  // Max load factor 7/8: linear probing stays short, and the power-of-two
+  // growth keeps the amortized insert cost constant.
+  static constexpr std::size_t kLoadNum = 7;
+  static constexpr std::size_t kLoadDen = 8;
+
+  std::size_t FindSlot(const Key& key, std::size_t hash) const {
+    const std::size_t mask = capacity() - 1;
+    std::size_t probe = hash & mask;
+    while (occupied_[probe]) {
+      if (hashes_[probe] == hash && Eq{}(keys_[probe], key)) return probe;
+      probe = (probe + 1) & mask;
+    }
+    return kNoSlot;
+  }
+
+  // Places a key known to be absent; returns its slot.
+  std::size_t InsertFresh(const Key& key, std::size_t hash) {
+    const std::size_t mask = capacity() - 1;
+    std::size_t probe = hash & mask;
+    while (occupied_[probe]) probe = (probe + 1) & mask;
+    occupied_[probe] = 1;
+    hashes_[probe] = hash;
+    keys_[probe] = key;  // assignment reuses the recycled slot's capacity
+    ++size_;
+    return probe;
+  }
+
+  void Grow(std::size_t new_capacity) {
+    assert((new_capacity & (new_capacity - 1)) == 0);
+    std::vector<std::uint8_t> old_occupied = std::move(occupied_);
+    std::vector<std::size_t> old_hashes = std::move(hashes_);
+    std::vector<Key> old_keys = std::move(keys_);
+    std::vector<Value> old_values = std::move(values_);
+
+    occupied_.assign(new_capacity, 0);
+    hashes_.assign(new_capacity, 0);
+    keys_.assign(new_capacity, Key{});
+    values_.assign(new_capacity, Value{});
+
+    const std::size_t mask = new_capacity - 1;
+    for (std::size_t i = 0; i < old_occupied.size(); ++i) {
+      if (!old_occupied[i]) continue;
+      std::size_t probe = old_hashes[i] & mask;
+      while (occupied_[probe]) probe = (probe + 1) & mask;
+      occupied_[probe] = 1;
+      hashes_[probe] = old_hashes[i];
+      keys_[probe] = std::move(old_keys[i]);
+      values_[probe] = std::move(old_values[i]);
+    }
+  }
+
+  std::vector<std::uint8_t> occupied_;
+  std::vector<std::size_t> hashes_;  // cached full hashes, probe pre-filter
+  std::vector<Key> keys_;
+  std::vector<Value> values_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace gdr
+
+#endif  // GDR_UTIL_FLAT_TABLE_H_

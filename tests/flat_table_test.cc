@@ -1,0 +1,205 @@
+// Property tests for the flat open-addressing table backing the violation
+// index's key → GroupId maps: random insert/erase/rehash churn pinned
+// against a std::unordered_map oracle, plus the GroupId free-list
+// recycling adversary (retire-and-reintern cycles that tombstone-based
+// schemes degrade under).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "util/flat_table.h"
+#include "util/rng.h"
+
+namespace gdr {
+namespace {
+
+using Key = std::vector<std::int32_t>;
+
+// The violation index's GroupKeyHash shape: FNV-1a over the id bytes.
+struct KeyHash {
+  std::size_t operator()(const Key& key) const {
+    std::uint64_t h = 1469598103934665603ULL;
+    for (std::int32_t id : key) {
+      h ^= static_cast<std::uint64_t>(static_cast<std::uint32_t>(id));
+      h *= 1099511628211ULL;
+    }
+    return static_cast<std::size_t>(h);
+  }
+};
+
+// A deliberately colliding hash: every key lands in one of 4 home slots,
+// forcing long probe runs and exercising backward-shift deletion across
+// wrapped runs.
+struct CollidingHash {
+  std::size_t operator()(const Key& key) const {
+    return KeyHash{}(key) & 3;
+  }
+};
+
+template <typename Hash>
+void ExpectMatchesOracle(
+    const FlatTable<Key, std::int32_t, Hash>& table,
+    const std::unordered_map<Key, std::int32_t, KeyHash>& oracle) {
+  ASSERT_EQ(table.size(), oracle.size());
+  for (const auto& [key, value] : oracle) {
+    const std::int32_t* found = table.Find(key);
+    ASSERT_NE(found, nullptr);
+    EXPECT_EQ(*found, value);
+  }
+  // The reverse direction: everything the table visits is in the oracle.
+  std::size_t visited = 0;
+  table.ForEach([&](const Key& key, std::int32_t value) {
+    ++visited;
+    auto it = oracle.find(key);
+    ASSERT_NE(it, oracle.end());
+    EXPECT_EQ(it->second, value);
+  });
+  EXPECT_EQ(visited, oracle.size());
+}
+
+template <typename Hash>
+void ChurnAgainstOracle(std::uint64_t seed, std::size_t operations,
+                        std::size_t key_space) {
+  Rng rng(seed);
+  FlatTable<Key, std::int32_t, Hash> table;
+  std::unordered_map<Key, std::int32_t, KeyHash> oracle;
+
+  auto random_key = [&] {
+    Key key(2 + rng.NextBounded(3));
+    for (auto& part : key) {
+      part = static_cast<std::int32_t>(rng.NextBounded(key_space));
+    }
+    return key;
+  };
+
+  for (std::size_t op = 0; op < operations; ++op) {
+    const Key key = random_key();
+    switch (rng.NextBounded(4)) {
+      case 0:
+      case 1: {  // insert-or-assign, biased so the table grows and rehashes
+        const std::int32_t value =
+            static_cast<std::int32_t>(rng.NextBounded(1 << 20));
+        const bool inserted = table.Insert(key, value);
+        EXPECT_EQ(inserted, !oracle.contains(key));
+        oracle[key] = value;
+        break;
+      }
+      case 2: {  // erase
+        EXPECT_EQ(table.Erase(key), oracle.erase(key) > 0);
+        break;
+      }
+      default: {  // lookup
+        const std::int32_t* found = table.Find(key);
+        auto it = oracle.find(key);
+        ASSERT_EQ(found != nullptr, it != oracle.end());
+        if (found != nullptr) EXPECT_EQ(*found, it->second);
+      }
+    }
+    if (op % 257 == 0) ExpectMatchesOracle(table, oracle);
+  }
+  ExpectMatchesOracle(table, oracle);
+}
+
+TEST(FlatTableTest, RandomChurnMatchesUnorderedMapOracle) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    ChurnAgainstOracle<KeyHash>(seed, 4000, 50);
+  }
+}
+
+TEST(FlatTableTest, ChurnSurvivesPathologicalCollisions) {
+  // Small key space + 4 home slots: every operation probes through long,
+  // frequently wrapping runs.
+  for (std::uint64_t seed = 10; seed <= 13; ++seed) {
+    ChurnAgainstOracle<CollidingHash>(seed, 1500, 8);
+  }
+}
+
+// The violation-index access pattern: groups retire (Erase) and re-intern
+// (Insert with a recycled GroupId) in tight cycles as rows move between
+// LHS groups. Backward-shift deletion must keep lookups exact through
+// thousands of such cycles without tombstone accumulation.
+TEST(FlatTableTest, FreeListRecyclingAdversary) {
+  Rng rng(99);
+  FlatTable<Key, std::int32_t, KeyHash> table;
+  std::unordered_map<Key, std::int32_t, KeyHash> oracle;
+  std::vector<std::int32_t> free_ids;  // recycled "GroupIds"
+  std::int32_t next_id = 0;
+  std::vector<Key> live;
+
+  for (std::size_t cycle = 0; cycle < 3000; ++cycle) {
+    if (!live.empty() && rng.NextBounded(2) == 0) {
+      // Retire a random live group: erase its key, recycle its id.
+      const std::size_t victim = rng.NextBounded(live.size());
+      const Key key = live[victim];
+      live[victim] = live.back();
+      live.pop_back();
+      free_ids.push_back(oracle.at(key));
+      ASSERT_TRUE(table.Erase(key));
+      oracle.erase(key);
+    } else {
+      // Intern a new group under a fresh key, preferring a recycled id.
+      Key key{static_cast<std::int32_t>(rng.NextBounded(40)),
+              static_cast<std::int32_t>(rng.NextBounded(40)),
+              static_cast<std::int32_t>(cycle)};  // unique per cycle
+      std::int32_t id;
+      if (!free_ids.empty()) {
+        id = free_ids.back();
+        free_ids.pop_back();
+      } else {
+        id = next_id++;
+      }
+      ASSERT_TRUE(table.Insert(key, id));
+      oracle[key] = id;
+      live.push_back(std::move(key));
+    }
+  }
+  ExpectMatchesOracle(table, oracle);
+
+  // Drain every live group; the table must empty exactly.
+  for (const Key& key : live) ASSERT_TRUE(table.Erase(key));
+  EXPECT_EQ(table.size(), 0u);
+  EXPECT_FALSE(table.Contains(live.empty() ? Key{0} : live.front()));
+}
+
+TEST(FlatTableTest, ClearKeepsCapacityAndEmptiesTable) {
+  FlatTable<Key, std::int32_t, KeyHash> table;
+  for (std::int32_t i = 0; i < 500; ++i) {
+    table.Insert({i, i + 1}, i);
+  }
+  const std::size_t capacity = table.capacity();
+  EXPECT_GE(capacity, 500u);
+  table.Clear();
+  EXPECT_EQ(table.size(), 0u);
+  EXPECT_EQ(table.capacity(), capacity);  // the reusable-scratch contract
+  for (std::int32_t i = 0; i < 500; ++i) {
+    EXPECT_EQ(table.Find({i, i + 1}), nullptr);
+  }
+  // Refill after Clear: no stale entries resurface.
+  for (std::int32_t i = 0; i < 500; ++i) {
+    EXPECT_TRUE(table.Insert({i, i + 1}, i * 2));
+  }
+  EXPECT_EQ(table.size(), 500u);
+  EXPECT_EQ(*table.Find({7, 8}), 14);
+}
+
+TEST(FlatTableTest, ReserveAvoidsRehashAndFindOrInsertDefaults) {
+  FlatTable<Key, std::int32_t, KeyHash> table;
+  table.Reserve(100);
+  const std::size_t capacity = table.capacity();
+  for (std::int32_t i = 0; i < 100; ++i) {
+    bool inserted = false;
+    std::int32_t& slot = table.FindOrInsert({i}, &inserted);
+    EXPECT_TRUE(inserted);
+    EXPECT_EQ(slot, 0);  // value-initialized
+    slot = i;
+  }
+  EXPECT_EQ(table.capacity(), capacity);  // Reserve pre-sized: no growth
+  bool inserted = true;
+  EXPECT_EQ(table.FindOrInsert({42}, &inserted), 42);
+  EXPECT_FALSE(inserted);
+}
+
+}  // namespace
+}  // namespace gdr
