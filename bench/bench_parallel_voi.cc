@@ -24,6 +24,17 @@
 // bit-identically. Exit 2 = score mismatch; exit 3 = batched slower than
 // the scratch delta it replaced.
 //
+// The `learner` section measures p~ with real trained committees: the
+// bank learns from ground-truth oracle feedback over the whole pool, then
+// ConfirmProbability per update and ConfirmProbabilities per group run
+// interleaved within each repeat (same flattened forests, same thermal
+// state), plus end-to-end Rank in both inference modes at 1..T threads
+// with scores_match/order_match flags. The bank's phase counters
+// (feature-encode / tree-walk seconds) land in the JSON so the learner's
+// share of ranking time is trackable. Exit 2 also covers any batched-vs-
+// scalar probability or ranking divergence; exit 3 also fires when the
+// batched learner path loses to the per-update path it replaces.
+//
 // Flags: --workload=name:key=val,... (default dataset1, parameterized by
 //        the legacy flags below; the first workload is measured)
 //        --records=N (default 20000) --seed=S (default 42)
@@ -34,6 +45,7 @@
 #include <cstdio>
 #include <map>
 #include <memory>
+#include <span>
 #include <string>
 #include <thread>
 #include <vector>
@@ -41,6 +53,7 @@
 #include "bench/bench_util.h"
 #include "core/gdr.h"
 #include "core/grouping.h"
+#include "core/learner_bank.h"
 #include "core/voi.h"
 #include "sim/oracle.h"
 #include "util/stopwatch.h"
@@ -290,6 +303,164 @@ int RunBench(int argc, char** argv) {
               serial_seconds, oracle_rank_seconds,
               rank_modes_match ? "yes" : "NO");
 
+  // ---- Learner-inference section (BENCH_hotpath.json "learner") -------
+  // Train the bank the way a real session would: the simulated user
+  // answers every pooled update from ground truth, the bank retrains once
+  // per attribute. Attributes below min_training_examples stay on the
+  // score fallback — `trained_attrs` records how many actually predict.
+  LearnerBank bank(&working, &engine.index(), {});
+  for (const UpdateGroup& group : groups) {
+    for (const Update& update : group.updates) {
+      const Feedback feedback = oracle.GetFeedback(working, update);
+      if (Status status = bank.AddFeedback(update, feedback); !status.ok()) {
+        std::printf("learner feedback: %s\n", status.ToString().c_str());
+        return 1;
+      }
+    }
+  }
+  std::size_t trained_attrs = 0;
+  for (std::size_t a = 0; a < working.num_attrs(); ++a) {
+    const AttrId attr = static_cast<AttrId>(a);
+    if (Status status = bank.Retrain(attr); !status.ok()) {
+      std::printf("learner retrain: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    if (bank.IsTrained(attr)) ++trained_attrs;
+  }
+
+  // p~ over the whole pool, both ways, interleaved within each repeat:
+  // one scalar ConfirmProbability call per update (the per-update oracle
+  // path) vs one ConfirmProbabilities matrix call per group (the batched
+  // path). Identical committees, so the probabilities must be
+  // bit-identical.
+  std::vector<double> per_update_probs(flat.size(), 0.0);
+  std::vector<double> batched_probs(flat.size(), 0.0);
+  double per_update_prob_seconds = -1.0;
+  double batched_prob_seconds = -1.0;
+  std::vector<double> prob_out;
+  for (int r = 0; r < repeats; ++r) {
+    {
+      Stopwatch watch;
+      std::size_t i = 0;
+      for (const UpdateGroup& group : groups) {
+        for (const Update& update : group.updates) {
+          per_update_probs[i++] = bank.ConfirmProbability(update);
+        }
+      }
+      const double seconds = watch.ElapsedSeconds();
+      if (per_update_prob_seconds < 0.0 ||
+          seconds < per_update_prob_seconds) {
+        per_update_prob_seconds = seconds;
+      }
+    }
+    {
+      double total = 0.0;
+      std::size_t i = 0;
+      for (const UpdateGroup& group : groups) {
+        Stopwatch watch;
+        bank.ConfirmProbabilities(std::span<const Update>(group.updates),
+                                  &prob_out);
+        total += watch.ElapsedSeconds();
+        for (const double p : prob_out) batched_probs[i++] = p;
+      }
+      if (batched_prob_seconds < 0.0 || total < batched_prob_seconds) {
+        batched_prob_seconds = total;
+      }
+    }
+  }
+  const bool learner_scores_match = per_update_probs == batched_probs;
+  const double ns_confirm_per_update =
+      flat.empty() ? 0.0 : per_update_prob_seconds / flat.size() * 1e9;
+  const double ns_confirm_batched =
+      flat.empty() ? 0.0 : batched_prob_seconds / flat.size() * 1e9;
+  const double learner_batched_speedup =
+      batched_prob_seconds > 0.0
+          ? per_update_prob_seconds / batched_prob_seconds
+          : 0.0;
+  std::printf(
+      "learner: trained-attrs=%zu confirm-per-update=%.0fns "
+      "confirm-batched=%.0fns (%.2fx) probabilities-match=%s\n",
+      trained_attrs, ns_confirm_per_update, ns_confirm_batched,
+      learner_batched_speedup, learner_scores_match ? "yes" : "NO");
+
+  // End-to-end Rank with the live learner in the loop, both inference
+  // modes at every thread count, interleaved within each repeat. Scores
+  // AND order must match the 1-thread per-update-oracle reference.
+  struct LearnerRank {
+    std::size_t threads = 1;
+    double batched_seconds = 0.0;
+    double per_update_seconds = 0.0;
+    bool scores_match = true;
+    bool order_match = true;
+  };
+  const ConfirmProbabilityFn learner_scalar = [&bank](const Update& update) {
+    return bank.ConfirmProbability(update);
+  };
+  std::vector<LearnerRank> learner_ranks;
+  VoiRanker::Ranking learner_reference;
+  bool learner_rank_match = true;
+  for (std::size_t threads = 1; threads <= threads_max; threads *= 2) {
+    std::unique_ptr<ThreadPool> pool;
+    if (threads > 1) pool = std::make_unique<ThreadPool>(threads);
+    VoiRanker batched_ranker(&engine.index(), &engine.rule_weights(),
+                             pool.get());
+    batched_ranker.set_batch_probability_fn(
+        [&bank](std::span<const Update> updates, std::vector<double>* out) {
+          bank.ConfirmProbabilities(updates, out);
+        });
+    VoiRanker per_update_ranker(&engine.index(), &engine.rule_weights(),
+                                pool.get());
+    per_update_ranker.set_inference_mode(
+        VoiRanker::InferenceMode::kPerUpdateOracle);
+    LearnerRank lr;
+    lr.threads = threads;
+    lr.batched_seconds = -1.0;
+    lr.per_update_seconds = -1.0;
+    VoiRanker::Ranking batched_ranking;
+    VoiRanker::Ranking per_update_ranking;
+    for (int r = 0; r < repeats; ++r) {
+      {
+        Stopwatch watch;
+        batched_ranking = batched_ranker.Rank(groups, learner_scalar);
+        const double seconds = watch.ElapsedSeconds();
+        if (lr.batched_seconds < 0.0 || seconds < lr.batched_seconds) {
+          lr.batched_seconds = seconds;
+        }
+      }
+      {
+        Stopwatch watch;
+        per_update_ranking = per_update_ranker.Rank(groups, learner_scalar);
+        const double seconds = watch.ElapsedSeconds();
+        if (lr.per_update_seconds < 0.0 ||
+            seconds < lr.per_update_seconds) {
+          lr.per_update_seconds = seconds;
+        }
+      }
+    }
+    if (threads == 1) learner_reference = per_update_ranking;
+    lr.scores_match = batched_ranking.scores == learner_reference.scores &&
+                      per_update_ranking.scores == learner_reference.scores;
+    lr.order_match = batched_ranking.order == learner_reference.order &&
+                     per_update_ranking.order == learner_reference.order;
+    learner_rank_match =
+        learner_rank_match && lr.scores_match && lr.order_match;
+    learner_ranks.push_back(lr);
+  }
+  std::printf("%8s %16s %19s %8s %13s %12s\n", "threads", "rank-batched-s",
+              "rank-per-update-s", "speedup", "scores-match", "order-match");
+  for (const LearnerRank& lr : learner_ranks) {
+    std::printf("%8zu %16.4f %19.4f %7.2fx %13s %12s\n", lr.threads,
+                lr.batched_seconds, lr.per_update_seconds,
+                lr.batched_seconds > 0.0
+                    ? lr.per_update_seconds / lr.batched_seconds
+                    : 0.0,
+                lr.scores_match ? "yes" : "NO",
+                lr.order_match ? "yes" : "NO");
+  }
+  // The bank's phase counters, accumulated over everything above — the
+  // same numbers GdrStats::timings and the server `stats` reply surface.
+  const PerfCounters& bank_perf = bank.perf_counters();
+
   std::vector<Measurement> results;
   results.push_back({1, serial_seconds, 1.0, true});
   for (std::size_t threads = 2; threads <= threads_max; threads *= 2) {
@@ -373,7 +544,43 @@ int RunBench(int argc, char** argv) {
         build_seconds, ns_per_update_reuse, ns_per_update_construct,
         ns_per_update_batched, batched_speedup, serial_seconds,
         oracle_rank_seconds,
-        benefits_match && all_match && rank_modes_match ? "true" : "false");
+        benefits_match && all_match && rank_modes_match &&
+                learner_scores_match && learner_rank_match
+            ? "true"
+            : "false");
+    // The learner section: trained-committee p~ both ways (interleaved
+    // same-run numbers), the end-to-end Rank comparison per thread count,
+    // and the bank's phase counters.
+    std::fprintf(
+        out,
+        "  \"learner\": {\n"
+        "    \"trained_attrs\": %zu,\n"
+        "    \"confirm_probability_ns_per_update\": %.1f,\n"
+        "    \"confirm_probability_ns_batched\": %.1f,\n"
+        "    \"batched_speedup\": %.3f,\n"
+        "    \"probabilities_match\": %s,\n"
+        "    \"encode_seconds\": %.6f,\n"
+        "    \"tree_walk_seconds\": %.6f,\n"
+        "    \"inferences\": %llu,\n"
+        "    \"rank\": [\n",
+        trained_attrs, ns_confirm_per_update, ns_confirm_batched,
+        learner_batched_speedup, learner_scores_match ? "true" : "false",
+        bank_perf.Seconds(PerfPhase::kLearnerEncode),
+        bank_perf.Seconds(PerfPhase::kLearnerTreeWalk),
+        static_cast<unsigned long long>(
+            bank_perf.Count(PerfPhase::kLearnerTreeWalk)));
+    for (std::size_t i = 0; i < learner_ranks.size(); ++i) {
+      const LearnerRank& lr = learner_ranks[i];
+      std::fprintf(out,
+                   "      {\"threads\": %zu, \"batched_seconds\": %.6f, "
+                   "\"per_update_seconds\": %.6f, \"scores_match\": %s, "
+                   "\"order_match\": %s}%s\n",
+                   lr.threads, lr.batched_seconds, lr.per_update_seconds,
+                   lr.scores_match ? "true" : "false",
+                   lr.order_match ? "true" : "false",
+                   i + 1 < learner_ranks.size() ? "," : "");
+    }
+    std::fprintf(out, "    ]\n  },\n");
     std::fprintf(out, "  \"group_size_buckets\": [\n");
     bool first_bucket = true;
     for (std::size_t b = 0; b < kNumBuckets; ++b) {
@@ -402,14 +609,36 @@ int RunBench(int argc, char** argv) {
   } else {
     std::printf("could not write %s\n", hotpath_path.c_str());
   }
-  if (!(all_match && benefits_match && rank_modes_match)) return 2;
-  // The perf gate: the batched inner loop must not lose to the scratch
-  // delta it replaced at this workload's scale.
+  if (!(all_match && benefits_match && rank_modes_match &&
+        learner_scores_match && learner_rank_match)) {
+    return 2;
+  }
+  // The perf gates: neither batched inner loop may lose to the per-item
+  // path it replaced at this workload's scale.
   if (batched_seconds > scratch_seconds) {
     std::fprintf(stderr,
                  "FAIL: batched scoring slower than scratch-delta "
                  "(%.0fns vs %.0fns per update)\n",
                  ns_per_update_batched, ns_per_update_reuse);
+    return 3;
+  }
+  if (trained_attrs > 0 && batched_prob_seconds > per_update_prob_seconds) {
+    std::fprintf(stderr,
+                 "FAIL: batched learner inference slower than per-update "
+                 "(%.0fns vs %.0fns per update)\n",
+                 ns_confirm_batched, ns_confirm_per_update);
+    return 3;
+  }
+  // End-to-end the learner is one phase of Rank, so allow 2% timer
+  // jitter before calling a loss a regression.
+  if (!learner_ranks.empty() &&
+      learner_ranks.front().batched_seconds >
+          learner_ranks.front().per_update_seconds * 1.02) {
+    std::fprintf(stderr,
+                 "FAIL: batched-inference Rank slower than per-update "
+                 "(%.4fs vs %.4fs serial)\n",
+                 learner_ranks.front().batched_seconds,
+                 learner_ranks.front().per_update_seconds);
     return 3;
   }
   return 0;

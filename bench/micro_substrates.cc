@@ -513,6 +513,125 @@ void BM_RandomForestPredict(benchmark::State& state) {
 }
 BENCHMARK(BM_RandomForestPredict);
 
+// Flattened-forest inference head-to-head (Arg = rows per group): one
+// VoteFractionsInto call per row (the per-update learner path) vs a single
+// row-major VoteFractionsBatch over the whole group (the batched
+// ConfirmProbabilities path). Both walk the same flattened SoA trees and
+// produce bit-identical fractions; the gap is per-call overhead plus the
+// tree-at-a-time locality the batch buys.
+constexpr std::size_t kForestBenchFeatures = 6;
+
+const RandomForest& ForestBenchForest() {
+  static RandomForest* forest = []() {
+    FeatureSchema schema({{"a", FeatureType::kCategorical},
+                          {"b", FeatureType::kCategorical},
+                          {"c", FeatureType::kNumeric},
+                          {"d", FeatureType::kNumeric},
+                          {"e", FeatureType::kNumeric},
+                          {"f", FeatureType::kNumeric}});
+    TrainingSet set(schema, 3);
+    Rng rng(43);
+    for (int i = 0; i < 1500; ++i) {
+      const double a = static_cast<double>(rng.NextBounded(20));
+      const double c = rng.NextDouble();
+      (void)set.Add({{a, static_cast<double>(rng.NextBounded(5)), c,
+                      rng.NextDouble(), rng.NextDouble(), rng.NextDouble()},
+                     c > 0.6 ? 0 : (a > 10 ? 1 : 2)});
+    }
+    auto* f = new RandomForest();
+    if (!f->Train(set).ok()) {
+      std::fprintf(stderr, "forest bench: train failed\n");
+      std::exit(1);
+    }
+    return f;
+  }();
+  return *forest;
+}
+
+// Row-major rows x kForestBenchFeatures probe matrix, deterministic.
+std::vector<double> ForestBenchMatrix(std::size_t rows) {
+  Rng rng(47);
+  std::vector<double> matrix(rows * kForestBenchFeatures);
+  for (std::size_t r = 0; r < rows; ++r) {
+    matrix[r * kForestBenchFeatures + 0] =
+        static_cast<double>(rng.NextBounded(20));
+    matrix[r * kForestBenchFeatures + 1] =
+        static_cast<double>(rng.NextBounded(5));
+    for (std::size_t f = 2; f < kForestBenchFeatures; ++f) {
+      matrix[r * kForestBenchFeatures + f] = rng.NextDouble();
+    }
+  }
+  return matrix;
+}
+
+void BM_ForestPredictPerUpdate(benchmark::State& state) {
+  const RandomForest& forest = ForestBenchForest();
+  const std::size_t rows = static_cast<std::size_t>(state.range(0));
+  const std::vector<double> matrix = ForestBenchMatrix(rows);
+  std::vector<double> row(kForestBenchFeatures);
+  std::vector<double> fractions;
+  for (auto _ : state) {
+    for (std::size_t r = 0; r < rows; ++r) {
+      row.assign(matrix.begin() + static_cast<std::ptrdiff_t>(
+                                      r * kForestBenchFeatures),
+                 matrix.begin() + static_cast<std::ptrdiff_t>(
+                                      (r + 1) * kForestBenchFeatures));
+      forest.VoteFractionsInto(row, &fractions);
+      benchmark::DoNotOptimize(fractions.data());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ForestPredictPerUpdate)->Arg(4)->Arg(64)->Arg(1024);
+
+void BM_ForestPredictBatch(benchmark::State& state) {
+  const RandomForest& forest = ForestBenchForest();
+  const std::size_t rows = static_cast<std::size_t>(state.range(0));
+  const std::vector<double> matrix = ForestBenchMatrix(rows);
+  std::vector<double> fractions;
+  for (auto _ : state) {
+    forest.VoteFractionsBatch(matrix.data(), rows, kForestBenchFeatures,
+                              &fractions);
+    benchmark::DoNotOptimize(fractions.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ForestPredictBatch)->Arg(4)->Arg(64)->Arg(1024);
+
+// The GroupCounts::CountOf scan in isolation (Arg = distinct RHS values in
+// the group, i.e. the length of the (value, count) arrays the branchless
+// mask-and loop walks). GroupCounts is private to the index, so the probe
+// goes through GroupRhsValueCount over a synthetic one-group instance: all
+// rows share the LHS key and every row holds a distinct RHS value, making
+// the group's counts vector exactly Arg entries long.
+void BM_CountOfScan(benchmark::State& state) {
+  const std::size_t distinct = static_cast<std::size_t>(state.range(0));
+  const Schema schema = *Schema::Make({"L", "R"});
+  RuleSet rules(schema);
+  if (!rules.AddRuleFromString("v1", "L -> R").ok()) {
+    state.SkipWithError("rule parse failed");
+    return;
+  }
+  Table table(schema);
+  for (std::size_t i = 0; i < distinct; ++i) {
+    if (!table.AppendRow({"k", "v" + std::to_string(i)}).ok()) {
+      state.SkipWithError("append failed");
+      return;
+    }
+  }
+  ViolationIndex index(&table, &rules);
+  const AttrId rhs = 1;
+  Rng rng(53);
+  for (auto _ : state) {
+    const ValueId value =
+        static_cast<ValueId>(rng.NextBounded(table.DomainSize(rhs)));
+    benchmark::DoNotOptimize(index.GroupRhsValueCount(0, 0, value));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(distinct));
+}
+BENCHMARK(BM_CountOfScan)->Arg(4)->Arg(64)->Arg(1024);
+
 }  // namespace
 }  // namespace gdr
 

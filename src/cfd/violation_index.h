@@ -230,10 +230,18 @@ class ViolationIndex {
       // Each value appears at most once, so the predicated sum *is* its
       // count (0 when absent). Deliberately no early exit: at the 1–3
       // distinct values groups typically hold, the branchless form beats
-      // the compare-and-break loop and vectorizes.
+      // the compare-and-break loop and vectorizes. The mask-and form
+      // (-(v == value) & count, i.e. all-ones or all-zeros mask) compiles
+      // to straight-line compare/and/add over the two contiguous arrays
+      // with no select per lane; BM_CountOfScan in micro_substrates pins
+      // the per-element cost so a codegen regression shows up as numbers,
+      // not as a missed inspection.
+      const ValueId* vs = values.data();
+      const std::int64_t* cs = counts.data();
+      const std::size_t n = values.size();
       std::int64_t c = 0;
-      for (std::size_t i = 0; i < values.size(); ++i) {
-        c += values[i] == value ? counts[i] : 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        c += -static_cast<std::int64_t>(vs[i] == value) & cs[i];
       }
       return c;
     }
@@ -674,6 +682,31 @@ class HypotheticalBatch {
   /// Effect of the staged write applied at `row` on affected rule k.
   /// Requires !IsNoOp(row) (see the class contract).
   Effect Probe(std::size_t k, RowId row);
+
+  /// Hints the prefetcher at the per-rule row-indexed slots Probe will
+  /// read for `row`: the row→GroupId entry of each staged variable rule
+  /// and the violation flag of each staged constant rule. A group's
+  /// updates touch scattered rows, so the batched scoring loop issues
+  /// this for update j+1 while update j's closed forms execute. Pure
+  /// hint — no correctness effect; a no-op before Stage() or on
+  /// out-of-range rows.
+  void PrefetchRow(RowId row) const {
+#if defined(__GNUC__) || defined(__clang__)
+    const std::size_t r = static_cast<std::size_t>(row);
+    for (const StagedRule& sr : staged_) {
+      const RuleStats& rs = *sr.rs;
+      if (rs.is_constant) {
+        if (r < rs.row_violates.size()) {
+          __builtin_prefetch(rs.row_violates.data() + r);
+        }
+      } else if (r < rs.row_group.size()) {
+        __builtin_prefetch(rs.row_group.data() + r);
+      }
+    }
+#else
+    (void)row;
+#endif
+  }
 
  private:
   using RuleStats = ViolationIndex::RuleStats;

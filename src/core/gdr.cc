@@ -78,12 +78,30 @@ Status GdrEngine::Initialize() {
   }
   voi_ = std::make_unique<VoiRanker>(index_.get(), &weights_, ranking_pool,
                                      options_.voi_scoring);
+  voi_->set_inference_mode(options_.learner_inference);
+  voi_->set_batch_probability_fn(
+      [bank = bank_.get()](std::span<const Update> updates,
+                           std::vector<double>* out) {
+        bank->ConfirmProbabilities(updates, out);
+      });
 
   stats_ = GdrStats{};
   stats_.initial_dirty = manager_->Initialize();
   stats_.timings.init_seconds = init_watch.ElapsedSeconds();
   initialized_ = true;
   return Status::OK();
+}
+
+void GdrEngine::SyncPerfTimings() {
+  const PerfCounters& learner = bank_->perf_counters();
+  const PerfCounters& voi = voi_->perf_counters();
+  GdrTimings& timings = stats_.timings;
+  timings.learner_encode_seconds = learner.Seconds(PerfPhase::kLearnerEncode);
+  timings.learner_tree_walk_seconds =
+      learner.Seconds(PerfPhase::kLearnerTreeWalk);
+  timings.learner_inferences = learner.Count(PerfPhase::kLearnerTreeWalk);
+  timings.voi_probe_seconds = voi.Seconds(PerfPhase::kVoiProbe);
+  timings.voi_probes = voi.Count(PerfPhase::kVoiProbe);
 }
 
 Result<GdrEngine::AppendOutcome> GdrEngine::AppendDirtyRows(

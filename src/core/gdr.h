@@ -102,6 +102,13 @@ struct GdrOptions {
   /// oracle exists for differential suites and perf comparison, never as a
   /// correctness escape hatch.
   VoiRanker::ScoringMode voi_scoring = VoiRanker::ScoringMode::kBatched;
+  /// Learner inference implementation, the p̃ side of the same split:
+  /// group-batched matrix encoding + tree-at-a-time forest evaluation
+  /// (default) or the scalar per-update oracle it is differentially
+  /// pinned against. Bit-identical probabilities, scores, and ranking
+  /// order either way.
+  VoiRanker::InferenceMode learner_inference =
+      VoiRanker::InferenceMode::kBatched;
 };
 
 /// Per-phase wall-clock timings (seconds), accumulated by the engine.
@@ -114,6 +121,16 @@ struct GdrTimings {
   /// bodies). Deliberately excludes the user's think-time between pulls —
   /// a pull-based session may idle for hours while feedback is pending.
   double total_seconds = 0.0;
+  /// Hot-path phase breakdown inside ranking (util/perf_counters.h),
+  /// synced from the learner bank's and ranker's cumulative counters
+  /// after every ranking pass. learner_* covers p̃ evaluation (feature
+  /// encoding vs forest tree walks, `learner_inferences` updates total);
+  /// voi_probe_* covers the benefit probes (`voi_probes` updates probed).
+  double learner_encode_seconds = 0.0;
+  double learner_tree_walk_seconds = 0.0;
+  double voi_probe_seconds = 0.0;
+  std::uint64_t learner_inferences = 0;
+  std::uint64_t voi_probes = 0;
 };
 
 struct GdrStats {
@@ -269,6 +286,11 @@ class GdrEngine {
 
   // Orders `updates` for user inspection per strategy (in place).
   void OrderForSession(std::vector<Update>* updates);
+
+  // Copies the bank's and ranker's cumulative phase counters into
+  // stats_.timings (called after every ranking pass; both sources only
+  // ever grow, so assignment — not accumulation — is correct).
+  void SyncPerfTimings();
 
   // Validated snapshot: updates of `group` still present in the pool.
   std::vector<Update> LiveGroupUpdates(const UpdateGroup& group) const;

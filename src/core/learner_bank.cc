@@ -87,27 +87,32 @@ bool LearnerBank::IsReliable(AttrId attr, Feedback predicted,
          RollingAccuracy(attr, predicted) >= min_accuracy;
 }
 
-std::vector<double> LearnerBank::Encode(const Update& update) const {
-  std::vector<double> features;
-  features.reserve(table_->num_attrs() + 7);
-  for (std::size_t a = 0; a < table_->num_attrs(); ++a) {
-    features.push_back(static_cast<double>(
-        table_->id_at(update.row, static_cast<AttrId>(a))));
+void LearnerBank::EncodeIntoRaw(const Update& update, double* dst) const {
+  const std::size_t num_attrs = table_->num_attrs();
+  for (std::size_t a = 0; a < num_attrs; ++a) {
+    dst[a] = static_cast<double>(
+        table_->id_at(update.row, static_cast<AttrId>(a)));
   }
   const ValueId current = table_->id_at(update.row, update.attr);
-  features.push_back(static_cast<double>(update.value));
-  features.push_back(NormalizedEditSimilarity(
+  dst[num_attrs] = static_cast<double>(update.value);
+  dst[num_attrs + 1] = NormalizedEditSimilarity(
       table_->at(update.row, update.attr),
-      table_->dict(update.attr).ToString(update.value)));
-  features.push_back(update.score);
-  features.push_back(std::log1p(
-      static_cast<double>(table_->ValueCount(update.attr, current))));
-  features.push_back(std::log1p(
-      static_cast<double>(table_->ValueCount(update.attr, update.value))));
-  features.push_back(
-      static_cast<double>(index_->ViolatedRuleCount(update.row)));
-  features.push_back(static_cast<double>(index_->HypotheticalViolatedRuleCount(
-      update.row, update.attr, update.value)));
+      table_->dict(update.attr).ToString(update.value));
+  dst[num_attrs + 2] = update.score;
+  dst[num_attrs + 3] = std::log1p(
+      static_cast<double>(table_->ValueCount(update.attr, current)));
+  dst[num_attrs + 4] = std::log1p(
+      static_cast<double>(table_->ValueCount(update.attr, update.value)));
+  dst[num_attrs + 5] =
+      static_cast<double>(index_->ViolatedRuleCount(update.row));
+  dst[num_attrs + 6] = static_cast<double>(
+      index_->HypotheticalViolatedRuleCount(update.row, update.attr,
+                                            update.value));
+}
+
+std::vector<double> LearnerBank::Encode(const Update& update) const {
+  std::vector<double> features(EncodedWidth());
+  EncodeIntoRaw(update, features.data());
   return features;
 }
 
@@ -134,22 +139,74 @@ bool LearnerBank::IsTrained(AttrId attr) const {
 }
 
 Feedback LearnerBank::PredictFeedback(const Update& update) const {
+  encode_scratch_.resize(EncodedWidth());
+  EncodeIntoRaw(update, encode_scratch_.data());
   const int label =
-      models_[static_cast<std::size_t>(update.attr)].Predict(Encode(update));
+      models_[static_cast<std::size_t>(update.attr)].Predict(encode_scratch_);
   return static_cast<Feedback>(label);
 }
 
 double LearnerBank::Uncertainty(const Update& update) const {
-  return models_[static_cast<std::size_t>(update.attr)].Uncertainty(
-      Encode(update));
+  encode_scratch_.resize(EncodedWidth());
+  EncodeIntoRaw(update, encode_scratch_.data());
+  models_[static_cast<std::size_t>(update.attr)].VoteFractionsInto(
+      encode_scratch_, &fraction_scratch_);
+  return RandomForest::VoteEntropy(fraction_scratch_);
 }
 
 double LearnerBank::ConfirmProbability(const Update& update) const {
   const std::size_t a = static_cast<std::size_t>(update.attr);
   if (!trained_[a]) return update.score;
-  const std::vector<double> fractions =
-      models_[a].VoteFractions(Encode(update));
-  return fractions[static_cast<std::size_t>(Feedback::kConfirm)];
+  {
+    ScopedPhaseTimer timer(&perf_, PerfPhase::kLearnerEncode, 1);
+    encode_scratch_.resize(EncodedWidth());
+    EncodeIntoRaw(update, encode_scratch_.data());
+  }
+  ScopedPhaseTimer timer(&perf_, PerfPhase::kLearnerTreeWalk, 1);
+  models_[a].VoteFractionsInto(encode_scratch_, &fraction_scratch_);
+  return fraction_scratch_[static_cast<std::size_t>(Feedback::kConfirm)];
+}
+
+void LearnerBank::ConfirmProbabilities(std::span<const Update> updates,
+                                       std::vector<double>* out) const {
+  const std::size_t n = updates.size();
+  out->resize(n);
+  // Process contiguous runs sharing one attribute (an UpdateGroup is a
+  // single run); each trained run is one matrix + one batched forest pass.
+  std::size_t i = 0;
+  while (i < n) {
+    const AttrId attr = updates[i].attr;
+    std::size_t j = i + 1;
+    while (j < n && updates[j].attr == attr) ++j;
+    const std::size_t a = static_cast<std::size_t>(attr);
+    if (!trained_[a]) {
+      for (std::size_t r = i; r < j; ++r) (*out)[r] = updates[r].score;
+      i = j;
+      continue;
+    }
+    const std::size_t rows = j - i;
+    const std::size_t width = EncodedWidth();
+    {
+      ScopedPhaseTimer timer(&perf_, PerfPhase::kLearnerEncode, rows);
+      matrix_scratch_.resize(rows * width);
+      for (std::size_t r = 0; r < rows; ++r) {
+        EncodeIntoRaw(updates[i + r], matrix_scratch_.data() + r * width);
+      }
+    }
+    {
+      ScopedPhaseTimer timer(&perf_, PerfPhase::kLearnerTreeWalk, rows);
+      models_[a].VoteFractionsBatch(matrix_scratch_.data(), rows, width,
+                                    &fraction_scratch_);
+    }
+    const std::size_t classes =
+        static_cast<std::size_t>(models_[a].num_classes());
+    const std::size_t confirm =
+        static_cast<std::size_t>(Feedback::kConfirm);
+    for (std::size_t r = 0; r < rows; ++r) {
+      (*out)[i + r] = fraction_scratch_[r * classes + confirm];
+    }
+    i = j;
+  }
 }
 
 }  // namespace gdr

@@ -2,6 +2,7 @@
 #define GDR_CORE_LEARNER_BANK_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "cfd/violation_index.h"
@@ -9,6 +10,7 @@
 #include "ml/example.h"
 #include "ml/random_forest.h"
 #include "repair/update.h"
+#include "util/perf_counters.h"
 #include "util/result.h"
 
 namespace gdr {
@@ -82,8 +84,29 @@ class LearnerBank {
   /// otherwise the update's repair score s_j (Section 4.1, "User Model").
   double ConfirmProbability(const Update& update) const;
 
+  /// Batched p̃: fills `out` (resized to updates.size()) with each
+  /// update's ConfirmProbability. Updates sharing one attribute — a whole
+  /// UpdateGroup, the VOI ranking unit — are encoded into one row-major
+  /// feature matrix (member scratch, one layout pass) and evaluated
+  /// tree-at-a-time by RandomForest::VoteFractionsBatch; untrained
+  /// attributes fall back to the repair score per update, exactly like the
+  /// scalar call. Bit-identical to calling ConfirmProbability per update
+  /// (same feature doubles, same vote accumulation order per row), which
+  /// the learner_batch differential suite enforces. Not thread-safe
+  /// (shared scratch): callers evaluate probabilities on one thread, the
+  /// contract VoiRanker already holds.
+  void ConfirmProbabilities(std::span<const Update> updates,
+                            std::vector<double>* out) const;
+
   /// Feature encoding for one suggested update (exposed for tests).
   std::vector<double> Encode(const Update& update) const;
+
+  /// Cumulative hot-path phase counters (encode ns / tree-walk ns, with
+  /// per-phase item counts). Accumulated by ConfirmProbability,
+  /// ConfirmProbabilities, and Uncertainty; surfaced through
+  /// GdrStats::timings and the server stats reply.
+  const PerfCounters& perf_counters() const { return perf_; }
+  void ResetPerfCounters() { perf_.Reset(); }
 
   std::size_t TrainingExamples(AttrId attr) const {
     return sets_[static_cast<std::size_t>(attr)].size();
@@ -111,6 +134,15 @@ class LearnerBank {
  private:
   static constexpr std::size_t kAccuracyWindow = 20;
 
+  // Number of features per encoded example (schema width).
+  std::size_t EncodedWidth() const { return table_->num_attrs() + 7; }
+
+  // Writes one update's features into `dst` (EncodedWidth() doubles).
+  // The one canonical encoding — Encode and the batch matrix layout both
+  // funnel through it, which is what keeps the batched features
+  // bit-identical to the scalar path.
+  void EncodeIntoRaw(const Update& update, double* dst) const;
+
   const Table* table_;
   const ViolationIndex* index_;
   LearnerBankOptions options_;
@@ -123,6 +155,14 @@ class LearnerBank {
   std::vector<std::vector<bool>> outcome_window_;
   std::vector<std::size_t> outcome_next_;   // ring cursors
   std::vector<std::size_t> outcome_count_;  // total outcomes observed
+
+  // Hot-path scratch (prediction-side methods are logically const but
+  // reuse these buffers — the reason the bank is documented not
+  // thread-safe for concurrent prediction calls).
+  mutable std::vector<double> encode_scratch_;    // one example's features
+  mutable std::vector<double> matrix_scratch_;    // batch feature matrix
+  mutable std::vector<double> fraction_scratch_;  // vote fractions
+  mutable PerfCounters perf_;
 };
 
 }  // namespace gdr

@@ -428,6 +428,7 @@ std::size_t GdrSession::MergeAdmittedGroups() {
                      });
   }
   engine.stats_.timings.ranking_seconds += merge_watch.ElapsedSeconds();
+  engine.SyncPerfTimings();
   return rescored;
 }
 
@@ -513,6 +514,7 @@ Status GdrSession::StepIterationStart() {
       return engine.bank_->ConfirmProbability(u);
     });
     engine.stats_.timings.ranking_seconds += ranking_watch.ElapsedSeconds();
+    engine.SyncPerfTimings();
   }
   double gmax = 0.0;
   if (!engine.PickGroup(groups_, ranking_, &picked_group_, &gmax)) {

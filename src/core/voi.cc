@@ -81,14 +81,27 @@ double VoiRanker::ScoreGroupTerms(const UpdateGroup& group,
   // The one canonical accumulation: terms in update order, probability
   // times benefit. Every scoring path funnels through here, which is what
   // keeps scores bit-identical across serial, parallel, and ScoreGroup.
+  const std::size_t n = group.updates.size();
+  ScopedPhaseTimer timer(&scratch->perf, PerfPhase::kVoiProbe, n);
   double score = 0.0;
   if (mode_ == ScoringMode::kBatched) {
-    for (std::size_t j = 0; j < group.updates.size(); ++j) {
+    if (n != 0) {
+      // Stage the group's shared (attr, value) context up front so the
+      // per-update prefetch below can resolve the affected rules before
+      // the first probe. Every update of a group shares the target, so
+      // this is the same single Stage the loop would have paid.
+      scratch->batch.Stage(group.updates.front().attr,
+                           group.updates.front().value);
+    }
+    for (std::size_t j = 0; j < n; ++j) {
+      // Pull the next update's per-rule row→group slots toward the cache
+      // while the current update's closed forms execute.
+      if (j + 1 < n) scratch->batch.PrefetchRow(group.updates[j + 1].row);
       score +=
           probabilities[j] * UpdateBenefit(group.updates[j], &scratch->batch);
     }
   } else {
-    for (std::size_t j = 0; j < group.updates.size(); ++j) {
+    for (std::size_t j = 0; j < n; ++j) {
       score +=
           probabilities[j] * UpdateBenefit(group.updates[j], &scratch->delta);
     }
@@ -98,7 +111,11 @@ double VoiRanker::ScoreGroupTerms(const UpdateGroup& group,
 
 void VoiRanker::FillProbabilities(
     const UpdateGroup& group, const ConfirmProbabilityFn& confirm_probability,
-    std::vector<double>* out) {
+    std::vector<double>* out) const {
+  if (inference_ == InferenceMode::kBatched && batch_probability_) {
+    batch_probability_(std::span<const Update>(group.updates), out);
+    return;
+  }
   out->clear();
   out->reserve(group.updates.size());
   for (const Update& update : group.updates) {
@@ -112,7 +129,9 @@ double VoiRanker::ScoreGroup(
   Scratch scratch(index_);
   std::vector<double> probabilities;
   FillProbabilities(group, confirm_probability, &probabilities);
-  return ScoreGroupTerms(group, probabilities, &scratch);
+  const double score = ScoreGroupTerms(group, probabilities, &scratch);
+  perf_.MergeFrom(scratch.perf);
+  return score;
 }
 
 VoiRanker::Ranking VoiRanker::Rank(
@@ -130,6 +149,7 @@ VoiRanker::Ranking VoiRanker::Rank(
       FillProbabilities(groups[i], confirm_probability, &probabilities);
       ranking.scores[i] = ScoreGroupTerms(groups[i], probabilities, &scratch);
     }
+    perf_.MergeFrom(scratch.perf);
   } else {
     // Confirm probabilities may touch the learner bank, which is not
     // required to be thread-safe — evaluate them up front on this thread.
@@ -152,6 +172,10 @@ VoiRanker::Ranking VoiRanker::Rank(
           ranking.scores[i] =
               ScoreGroupTerms(groups[i], probabilities[i], &scratches[slot]);
         });
+    // The barrier above is the synchronization point: every slot's
+    // counters are quiescent, so merging them on the calling thread races
+    // with nothing.
+    for (const Scratch& scratch : scratches) perf_.MergeFrom(scratch.perf);
   }
 
   ranking.order.resize(groups.size());

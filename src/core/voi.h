@@ -2,10 +2,12 @@
 #define GDR_CORE_VOI_H_
 
 #include <functional>
+#include <span>
 #include <vector>
 
 #include "cfd/violation_index.h"
 #include "core/grouping.h"
+#include "util/perf_counters.h"
 
 namespace gdr {
 
@@ -16,6 +18,14 @@ class ThreadPool;
 /// the repair score s_j before any feedback exists (Section 4.1, "User
 /// Model"). Wired to LearnerBank::ConfirmProbability in the engine.
 using ConfirmProbabilityFn = std::function<double(const Update&)>;
+
+/// Group-batched form of the same contract: fills `out` (resized to the
+/// span's length) with each update's p̃_j. Wired to
+/// LearnerBank::ConfirmProbabilities in the engine; must be bit-identical
+/// to calling the scalar fn per update — the learner_batch differential
+/// suite enforces exactly that.
+using ConfirmProbabilityBatchFn =
+    std::function<void(std::span<const Update>, std::vector<double>*)>;
 
 /// The VOI-based group ranking of Section 4.1. Computes the estimated
 /// update benefit of acquiring feedback on a group c (Eq. 6):
@@ -55,6 +65,17 @@ class VoiRanker {
     kPerUpdateOracle,  // per-update delta staging (differential oracle)
   };
 
+  /// How the learner's p̃_j is obtained — the inference-side mirror of
+  /// ScoringMode. kBatched routes each group through the
+  /// ConfirmProbabilityBatchFn (one feature matrix + tree-at-a-time forest
+  /// pass per group); kPerUpdateOracle calls the scalar fn per update.
+  /// Both produce bit-identical probabilities, scores, and ranking order —
+  /// the oracle exists for the differential suites and perf comparison.
+  enum class InferenceMode {
+    kBatched,
+    kPerUpdateOracle,
+  };
+
   /// `index` is read-only; `weights` must have one entry per rule (Eq. 3
   /// weights); `workers` of nullptr means serial ranking. Non-owning
   /// pointers.
@@ -64,6 +85,17 @@ class VoiRanker {
 
   ScoringMode scoring_mode() const { return mode_; }
   void set_scoring_mode(ScoringMode mode) { mode_ = mode; }
+
+  InferenceMode inference_mode() const { return inference_; }
+  void set_inference_mode(InferenceMode mode) { inference_ = mode; }
+
+  /// Installs the group-batched p̃ supplier used when inference_mode() is
+  /// kBatched. Without one, every mode falls back to the scalar fn passed
+  /// to Rank/ScoreGroup (so a ranker with no learner wiring behaves
+  /// exactly as before this knob existed).
+  void set_batch_probability_fn(ConfirmProbabilityBatchFn fn) {
+    batch_probability_ = std::move(fn);
+  }
 
   /// E[g(c)] for one group. Uses one internal scratch (delta or batch, per
   /// the scoring mode) across the group's updates.
@@ -107,15 +139,25 @@ class VoiRanker {
   Ranking Rank(const std::vector<UpdateGroup>& groups,
                const ConfirmProbabilityFn& confirm_probability) const;
 
+  /// Cumulative probe-phase counters (kVoiProbe: benefit-probe ns plus the
+  /// number of updates probed), merged from every scratch after each
+  /// ranking pass. Not thread-safe w.r.t. concurrent Rank calls on the
+  /// *same* ranker — each engine owns its ranker, so that never happens.
+  const PerfCounters& perf_counters() const { return perf_; }
+  void ResetPerfCounters() { perf_.Reset(); }
+
  private:
   // Per-worker scoring state: the batched evaluator plus the delta the
-  // oracle mode stages into. Constructing both is cheap (vector resizes);
-  // only the active mode's half is touched on the hot path.
+  // oracle mode stages into, and the slot's probe counters (merged into
+  // perf_ after the fan-out barrier). Constructing both evaluators is
+  // cheap (vector resizes); only the active mode's half is touched on the
+  // hot path.
   struct Scratch {
     explicit Scratch(const ViolationIndex* index)
         : delta(index), batch(index) {}
     ViolationDelta delta;
     HypotheticalBatch batch;
+    PerfCounters perf;
   };
 
   // The one canonical per-group accumulation (terms in update order);
@@ -124,15 +166,17 @@ class VoiRanker {
   double ScoreGroupTerms(const UpdateGroup& group,
                          const std::vector<double>& probabilities,
                          Scratch* scratch) const;
-  static void FillProbabilities(
-      const UpdateGroup& group,
-      const ConfirmProbabilityFn& confirm_probability,
-      std::vector<double>* out);
+  void FillProbabilities(const UpdateGroup& group,
+                         const ConfirmProbabilityFn& confirm_probability,
+                         std::vector<double>* out) const;
 
   const ViolationIndex* index_;
   const std::vector<double>* weights_;
   ThreadPool* workers_;
   ScoringMode mode_;
+  InferenceMode inference_ = InferenceMode::kBatched;
+  ConfirmProbabilityBatchFn batch_probability_;
+  mutable PerfCounters perf_;
 };
 
 }  // namespace gdr

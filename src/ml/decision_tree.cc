@@ -62,7 +62,36 @@ Status DecisionTree::Train(const TrainingSet& data,
   num_classes_ = data.num_classes();
   std::vector<std::size_t> items = indices;
   Build(data, items, /*depth=*/0, options, rng);
+  Flatten();
   return Status::OK();
+}
+
+void DecisionTree::Flatten() {
+  const std::size_t n = nodes_.size();
+  flat_feature_.resize(n);
+  flat_categorical_.resize(n);
+  flat_threshold_.resize(n);
+  flat_left_.resize(n);
+  flat_right_.resize(n);
+  flat_majority_.resize(n);
+  flat_dist_offset_.resize(n);
+  dist_pool_.clear();
+  for (std::size_t i = 0; i < n; ++i) {
+    const Node& node = nodes_[i];
+    flat_feature_[i] = node.feature;
+    flat_categorical_[i] = node.categorical ? 1 : 0;
+    flat_threshold_[i] = node.threshold;
+    flat_left_[i] = node.left;
+    flat_right_[i] = node.right;
+    flat_majority_[i] = node.majority;
+    if (node.feature < 0) {
+      flat_dist_offset_[i] = static_cast<std::int32_t>(dist_pool_.size());
+      dist_pool_.insert(dist_pool_.end(), node.distribution.begin(),
+                        node.distribution.end());
+    } else {
+      flat_dist_offset_[i] = -1;
+    }
+  }
 }
 
 Status DecisionTree::Train(const TrainingSet& data,
@@ -216,13 +245,21 @@ const DecisionTree::Node& DecisionTree::Descend(
   return *node;
 }
 
-int DecisionTree::Predict(const std::vector<double>& features) const {
-  return Descend(features).majority;
-}
-
 std::vector<double> DecisionTree::PredictDistribution(
     const std::vector<double>& features) const {
   return Descend(features).distribution;
+}
+
+void DecisionTree::PredictDistributionInto(const double* features,
+                                           std::vector<double>* out) const {
+  const std::size_t leaf = static_cast<std::size_t>(DescendFlat(features));
+  const std::size_t offset =
+      static_cast<std::size_t>(flat_dist_offset_[leaf]);
+  out->assign(dist_pool_.begin() + static_cast<std::ptrdiff_t>(offset),
+              dist_pool_.begin() +
+                  static_cast<std::ptrdiff_t>(offset +
+                                              static_cast<std::size_t>(
+                                                  num_classes_)));
 }
 
 }  // namespace gdr

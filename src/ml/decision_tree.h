@@ -29,6 +29,20 @@ struct DecisionTreeOptions {
 /// uses via WEKA. One-vs-rest equality splits keep high-cardinality
 /// categorical attributes (city names, zip codes) tractable.
 ///
+/// Two representations coexist after Train():
+///  * the recursive `nodes_` vector the builder produces — each node a
+///    struct with its own per-leaf distribution vector. Kept as the
+///    differential oracle (`PredictDistribution` walks it).
+///  * a flattened SoA mirror — feature / threshold / left / right /
+///    majority as parallel arrays, every leaf distribution packed into one
+///    contiguous pool indexed by offset — built once at the end of Train.
+///    `Predict` and `PredictDistributionInto` descend the flat arrays:
+///    batch evaluation touches a handful of dense arrays instead of
+///    chasing 48-byte nodes with heap-allocated payloads, and returning a
+///    distribution is a pool memcpy instead of a vector copy-construct.
+/// The learner_batch differential suite pins the flat walk to the
+/// recursive oracle on fuzzed inputs.
+///
 /// Deterministic given the training data, options, and Rng state.
 class DecisionTree {
  public:
@@ -48,12 +62,32 @@ class DecisionTree {
 
   bool trained() const { return !nodes_.empty(); }
 
-  /// Majority class at the reached leaf.
-  int Predict(const std::vector<double>& features) const;
+  /// Majority class at the reached leaf (flat-array descent).
+  int Predict(const std::vector<double>& features) const {
+    return Predict(features.data());
+  }
+
+  /// Raw-pointer overload for batch callers holding a row-major feature
+  /// matrix; `features` must point at num_features doubles.
+  int Predict(const double* features) const {
+    return flat_majority_[static_cast<std::size_t>(DescendFlat(features))];
+  }
 
   /// Class-frequency distribution at the reached leaf (sums to 1).
+  /// Recursive-representation walk, kept as the oracle the flat paths are
+  /// differentially pinned against; allocates the result.
   std::vector<double> PredictDistribution(
       const std::vector<double>& features) const;
+
+  /// No-alloc variant: copies the reached leaf's distribution out of the
+  /// contiguous pool into `out` (resized to num_classes). Bit-identical to
+  /// PredictDistribution.
+  void PredictDistributionInto(const std::vector<double>& features,
+                               std::vector<double>* out) const {
+    PredictDistributionInto(features.data(), out);
+  }
+  void PredictDistributionInto(const double* features,
+                               std::vector<double>* out) const;
 
   /// Number of nodes (diagnostics / tests).
   std::size_t node_count() const { return nodes_.size(); }
@@ -83,8 +117,38 @@ class DecisionTree {
 
   const Node& Descend(const std::vector<double>& features) const;
 
+  // Mirrors nodes_ into the SoA arrays + distribution pool (end of Train).
+  void Flatten();
+
+  // Flat-array descent to a leaf's node index.
+  std::int32_t DescendFlat(const double* features) const {
+    std::int32_t i = 0;
+    std::int32_t f = flat_feature_[0];
+    while (f >= 0) {
+      const std::size_t n = static_cast<std::size_t>(i);
+      const double x = features[static_cast<std::size_t>(f)];
+      const bool goes_left = flat_categorical_[n] != 0
+                                 ? (x == flat_threshold_[n])
+                                 : (x <= flat_threshold_[n]);
+      i = goes_left ? flat_left_[n] : flat_right_[n];
+      f = flat_feature_[static_cast<std::size_t>(i)];
+    }
+    return i;
+  }
+
   std::vector<Node> nodes_;
   int num_classes_ = 0;
+
+  // SoA mirror, parallel to nodes_. flat_dist_offset_ indexes dist_pool_
+  // (num_classes_ doubles per leaf; -1 for internal nodes).
+  std::vector<std::int32_t> flat_feature_;     // -1 marks a leaf
+  std::vector<std::uint8_t> flat_categorical_;
+  std::vector<double> flat_threshold_;
+  std::vector<std::int32_t> flat_left_;
+  std::vector<std::int32_t> flat_right_;
+  std::vector<std::int32_t> flat_majority_;
+  std::vector<std::int32_t> flat_dist_offset_;
+  std::vector<double> dist_pool_;
 };
 
 /// Shannon entropy (nats) of a count histogram; 0 for empty/pure counts.

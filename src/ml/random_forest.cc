@@ -50,13 +50,48 @@ std::vector<int> RandomForest::CommitteeVotes(
 
 std::vector<double> RandomForest::VoteFractions(
     const std::vector<double>& features) const {
-  std::vector<double> fractions(static_cast<std::size_t>(num_classes_), 0.0);
-  if (trees_.empty()) return fractions;
-  for (const DecisionTree& tree : trees_) {
-    fractions[static_cast<std::size_t>(tree.Predict(features))] += 1.0;
-  }
-  for (double& f : fractions) f /= static_cast<double>(trees_.size());
+  std::vector<double> fractions;
+  VoteFractionsInto(features, &fractions);
   return fractions;
+}
+
+void RandomForest::VoteFractionsInto(const std::vector<double>& features,
+                                     std::vector<double>* out) const {
+  out->assign(static_cast<std::size_t>(num_classes_), 0.0);
+  if (trees_.empty()) return;
+  for (const DecisionTree& tree : trees_) {
+    (*out)[static_cast<std::size_t>(tree.Predict(features))] += 1.0;
+  }
+  for (double& f : *out) f /= static_cast<double>(trees_.size());
+}
+
+void RandomForest::VoteFractionsBatch(const double* features,
+                                      std::size_t rows, std::size_t stride,
+                                      std::vector<double>* out) const {
+  const std::size_t classes = static_cast<std::size_t>(num_classes_);
+  out->assign(rows * classes, 0.0);
+  if (trees_.empty()) return;
+  // Tree-at-a-time within row blocks: per row the accumulator sees the
+  // same +1.0 sequence in tree order as the per-row loop, so the sums
+  // (and the final divisions) are bit-identical to VoteFractions. The
+  // blocking caps how much of the feature matrix and vote output a tree
+  // pass streams, keeping both resident across the tree loop — without it
+  // large batches pay a full-matrix cache sweep per tree.
+  constexpr std::size_t kRowBlock = 64;
+  for (std::size_t base = 0; base < rows; base += kRowBlock) {
+    const std::size_t end = std::min(rows, base + kRowBlock);
+    for (const DecisionTree& tree : trees_) {
+      const double* row = features + base * stride;
+      double* votes = out->data() + base * classes;
+      for (std::size_t r = base; r < end; ++r) {
+        votes[tree.Predict(row)] += 1.0;
+        row += stride;
+        votes += classes;
+      }
+    }
+  }
+  const double denominator = static_cast<double>(trees_.size());
+  for (double& f : *out) f /= denominator;
 }
 
 int RandomForest::Predict(const std::vector<double>& features) const {

@@ -49,6 +49,24 @@ class RandomForest {
   /// Per-class fraction of committee votes (sums to 1).
   std::vector<double> VoteFractions(const std::vector<double>& features) const;
 
+  /// No-alloc variant: `out` is resized to num_classes and filled.
+  /// Bit-identical to VoteFractions (same accumulation order: +1.0 per
+  /// tree vote in tree order, one division at the end).
+  void VoteFractionsInto(const std::vector<double>& features,
+                         std::vector<double>* out) const;
+
+  /// Batched committee evaluation over a row-major feature matrix:
+  /// `features` holds `rows` examples of `stride` doubles each; `out` is
+  /// resized to rows × num_classes (row-major) and filled with each row's
+  /// vote fractions. Evaluated tree-at-a-time — every row descends tree 0,
+  /// then every row descends tree 1, … — so one tree's flat node arrays
+  /// stay hot across the whole batch instead of the whole forest being
+  /// re-walked per row. Each row's accumulator still receives its +1.0
+  /// votes in tree order and is divided once at the end, so every row's
+  /// fractions are bit-identical to a per-row VoteFractions call.
+  void VoteFractionsBatch(const double* features, std::size_t rows,
+                          std::size_t stride, std::vector<double>* out) const;
+
   /// Committee vote of each tree, in tree order.
   std::vector<int> CommitteeVotes(const std::vector<double>& features) const;
 

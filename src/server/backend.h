@@ -90,6 +90,15 @@ struct WireServerStats {
   std::size_t pool_threads = 1;
   std::size_t pool_queue_depth = 0;
   std::uint64_t pool_tasks_completed = 0;
+  /// Hot-path phase counters aggregated over the resident sessions
+  /// (GdrTimings: learner feature-encode / forest tree-walk seconds,
+  /// benefit-probe seconds and probe count). Evicted sessions' time is
+  /// not replayed into these — they reset to their snapshot's history on
+  /// rehydration like every other timing.
+  double learner_encode_seconds = 0.0;
+  double learner_tree_walk_seconds = 0.0;
+  double voi_probe_seconds = 0.0;
+  std::uint64_t voi_probes = 0;
 };
 
 /// The pluggable backend boundary: one struct of operations per backend

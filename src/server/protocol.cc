@@ -134,7 +134,11 @@ bool HandleCommand(const Backend& backend, std::string_view line,
         << " rehydrations=" << stats.rehydrations
         << " pool-threads=" << stats.pool_threads
         << " pool-depth=" << stats.pool_queue_depth
-        << " pool-completed=" << stats.pool_tasks_completed << "\n";
+        << " pool-completed=" << stats.pool_tasks_completed
+        << " learner-encode-s=" << stats.learner_encode_seconds
+        << " learner-treewalk-s=" << stats.learner_tree_walk_seconds
+        << " voi-probe-s=" << stats.voi_probe_seconds
+        << " voi-probes=" << stats.voi_probes << "\n";
     reply->append(out.str());
     return true;
   }

@@ -438,15 +438,30 @@ Status SessionManager::Close(const SessionKey& key) {
 
 WireServerStats SessionManager::Stats() const {
   WireServerStats stats;
+  std::vector<std::shared_ptr<ManagedSession>> snapshot;
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    snapshot.reserve(sessions_.size());
     for (const auto& [key, session] : sessions_) {
       if (session->resident.load(std::memory_order_acquire)) {
         ++stats.resident_sessions;
       } else {
         ++stats.evicted_sessions;
       }
+      snapshot.push_back(session);
     }
+  }
+  // Aggregate per-session hot-path counters outside the map lock: Open's
+  // failure path locks session-then-map, so holding the map lock while
+  // taking session locks here would close a lock-order cycle.
+  for (const std::shared_ptr<ManagedSession>& session : snapshot) {
+    std::lock_guard<std::mutex> session_lock(session->mutex);
+    if (session->defunct || session->session == nullptr) continue;
+    const GdrTimings& timings = session->session->stats().timings;
+    stats.learner_encode_seconds += timings.learner_encode_seconds;
+    stats.learner_tree_walk_seconds += timings.learner_tree_walk_seconds;
+    stats.voi_probe_seconds += timings.voi_probe_seconds;
+    stats.voi_probes += timings.voi_probes;
   }
   stats.resident_bytes = resident_bytes_.load(std::memory_order_relaxed);
   stats.memory_budget_bytes = options_.memory_budget_bytes;

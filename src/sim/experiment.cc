@@ -25,6 +25,7 @@ Result<ExperimentResult> RunStrategyExperiment(
   options.num_threads = config.num_threads;
   options.shared_pool = config.shared_pool;
   options.voi_scoring = config.voi_scoring;
+  options.learner_inference = config.learner_inference;
 
   const Stopwatch wall_watch;
   GdrEngine engine(&working, &dataset.rules, &oracle, options);

@@ -55,6 +55,13 @@ struct ExperimentConfig {
   /// are bit-identical either way — the voi_batched differential suite
   /// runs whole experiments under both to enforce exactly that.
   VoiRanker::ScoringMode voi_scoring = VoiRanker::ScoringMode::kBatched;
+  /// Learner inference implementation (GdrOptions::learner_inference):
+  /// group-batched matrix encoding + tree-at-a-time forest passes
+  /// (default) or the scalar per-update oracle. Results are bit-identical
+  /// either way — the learner_batch differential suite runs whole
+  /// experiments under both to enforce exactly that.
+  VoiRanker::InferenceMode learner_inference =
+      VoiRanker::InferenceMode::kBatched;
 };
 
 struct ExperimentResult {

@@ -1,0 +1,597 @@
+// Differential suite for batched learner inference: the group-batched
+// ConfirmProbabilities path (row-major feature matrix + tree-at-a-time
+// forest evaluation over flattened SoA trees) must be bit-identical to
+// the per-update ConfirmProbability oracle — probabilities, scores, AND
+// ranking order — across random groups, retrain boundaries, untrained
+// attributes, and 1/2/4/8 threads, through whole experiments and
+// mid-session appends. Also pins the flattened tree representation to
+// the recursive oracle on fuzzed inputs.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/learner_bank.h"
+#include "core/session.h"
+#include "core/voi.h"
+#include "ml/decision_tree.h"
+#include "ml/random_forest.h"
+#include "sim/experiment.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+#include "workload/registry.h"
+
+namespace gdr {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Flattened tree ≡ recursive tree on fuzzed trees and inputs.
+
+TrainingSet FuzzedTrainingSet(Rng* rng, std::size_t num_features,
+                              int num_classes, std::size_t num_examples) {
+  std::vector<FeatureDesc> descs;
+  for (std::size_t f = 0; f < num_features; ++f) {
+    const bool categorical = rng->NextBounded(2) == 0;
+    descs.push_back({"f" + std::to_string(f),
+                     categorical ? FeatureType::kCategorical
+                                 : FeatureType::kNumeric});
+  }
+  TrainingSet set(FeatureSchema(descs), num_classes);
+  for (std::size_t i = 0; i < num_examples; ++i) {
+    Example example;
+    for (std::size_t f = 0; f < num_features; ++f) {
+      example.features.push_back(
+          descs[f].type == FeatureType::kCategorical
+              ? static_cast<double>(rng->NextBounded(5))
+              : rng->NextDouble() * 10.0);
+    }
+    // Learnable-but-noisy labels so trees grow real split structure.
+    const double signal = example.features[0] + example.features[1 % num_features];
+    example.label = static_cast<int>(
+        (static_cast<std::size_t>(signal) + rng->NextBounded(2)) %
+        static_cast<std::size_t>(num_classes));
+    EXPECT_TRUE(set.Add(std::move(example)).ok());
+  }
+  return set;
+}
+
+std::vector<double> FuzzedInput(Rng* rng, const FeatureSchema& schema) {
+  std::vector<double> features;
+  for (std::size_t f = 0; f < schema.num_features(); ++f) {
+    features.push_back(schema.IsCategorical(f)
+                           ? static_cast<double>(rng->NextBounded(6))
+                           : rng->NextDouble() * 12.0 - 1.0);
+  }
+  return features;
+}
+
+class FlattenedTreeTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FlattenedTreeTest, FlatWalkMatchesRecursiveOracleOnFuzzedInputs) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 1);
+  const std::size_t num_features = 2 + rng.NextBounded(6);
+  const int num_classes = 2 + static_cast<int>(rng.NextBounded(3));
+  const TrainingSet set =
+      FuzzedTrainingSet(&rng, num_features, num_classes, 40 + rng.NextBounded(120));
+
+  DecisionTreeOptions options;
+  options.feature_subsample = 1 + static_cast<int>(rng.NextBounded(num_features));
+  DecisionTree tree;
+  ASSERT_TRUE(tree.Train(set, options, &rng).ok());
+
+  std::vector<double> flat_dist;
+  for (int probe = 0; probe < 200; ++probe) {
+    const std::vector<double> input = FuzzedInput(&rng, set.schema());
+    // Recursive oracle vs flat SoA walk: same leaf, bit-identical payload.
+    const std::vector<double> recursive = tree.PredictDistribution(input);
+    tree.PredictDistributionInto(input, &flat_dist);
+    EXPECT_EQ(flat_dist, recursive);
+    // The flat majority must be the first-max of the recursive
+    // distribution (the builder's tie-break).
+    const auto max_it = std::max_element(recursive.begin(), recursive.end());
+    EXPECT_EQ(tree.Predict(input),
+              static_cast<int>(std::distance(recursive.begin(), max_it)));
+  }
+}
+
+TEST_P(FlattenedTreeTest, ForestBatchMatchesPerRowFractions) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 104729 + 3);
+  const std::size_t num_features = 3 + rng.NextBounded(4);
+  const TrainingSet set = FuzzedTrainingSet(&rng, num_features, 3, 120);
+
+  RandomForestOptions options;
+  options.seed = static_cast<std::uint64_t>(GetParam()) + 11;
+  RandomForest forest(options);
+  ASSERT_TRUE(forest.Train(set).ok());
+
+  for (const std::size_t rows : {std::size_t{1}, std::size_t{4}, std::size_t{33}}) {
+    std::vector<double> matrix;
+    std::vector<std::vector<double>> inputs;
+    for (std::size_t r = 0; r < rows; ++r) {
+      inputs.push_back(FuzzedInput(&rng, set.schema()));
+      matrix.insert(matrix.end(), inputs.back().begin(), inputs.back().end());
+    }
+    std::vector<double> batch;
+    forest.VoteFractionsBatch(matrix.data(), rows, num_features, &batch);
+    ASSERT_EQ(batch.size(), rows * static_cast<std::size_t>(forest.num_classes()));
+    for (std::size_t r = 0; r < rows; ++r) {
+      const std::vector<double> per_row = forest.VoteFractions(inputs[r]);
+      for (std::size_t c = 0; c < per_row.size(); ++c) {
+        EXPECT_EQ(batch[r * per_row.size() + c], per_row[c]) << r << "," << c;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FlattenedTreeTest, ::testing::Range(1, 7));
+
+// ---------------------------------------------------------------------------
+// Batched p̃ ≡ per-update oracle over a live bank.
+
+// Randomized instance mirroring voi_batched_test, plus a learner bank the
+// tests feed synthetic-but-deterministic feedback into.
+struct RandomLearnerInstance {
+  explicit RandomLearnerInstance(std::uint64_t seed)
+      : schema(*Schema::Make({"STR", "CT", "STT", "ZIP"})),
+        table(schema),
+        rules(schema),
+        rng(seed) {
+    const char* streets[] = {"Main St", "Oak Ave", "Sherden Rd", "Elm St"};
+    const char* cities[] = {"Fort Wayne", "Westville", "Michigan City"};
+    const char* states[] = {"IN", "IND"};
+    const char* zips[] = {"46825", "46391", "46360", "46802", "46774"};
+    for (int i = 0; i < 80; ++i) {
+      EXPECT_TRUE(table
+                      .AppendRow({streets[rng.NextBounded(4)],
+                                  cities[rng.NextBounded(3)],
+                                  states[rng.NextBounded(2)],
+                                  zips[rng.NextBounded(5)]})
+                      .ok());
+    }
+    EXPECT_TRUE(
+        rules.AddRuleFromString("c1", "ZIP=46360 -> CT=Michigan City ; STT=IN")
+            .ok());
+    EXPECT_TRUE(rules.AddRuleFromString("c2", "ZIP=46391 -> CT=Westville")
+                    .ok());
+    EXPECT_TRUE(rules.AddRuleFromString("v1", "STR, CT -> ZIP").ok());
+    EXPECT_TRUE(rules.AddRuleFromString("v2", "ZIP -> CT").ok());
+    index = std::make_unique<ViolationIndex>(&table, &rules);
+
+    weights.resize(rules.size());
+    for (double& w : weights) w = 0.05 + 0.95 * rng.NextDouble();
+
+    LearnerBankOptions bank_options;
+    bank_options.min_training_examples = 12;
+    bank_options.seed = seed * 31 + 5;
+    bank = std::make_unique<LearnerBank>(&table, index.get(), bank_options);
+
+    const std::size_t num_groups = 12;
+    for (std::size_t g = 0; g < num_groups; ++g) {
+      UpdateGroup group;
+      group.attr = static_cast<AttrId>(rng.NextBounded(table.num_attrs()));
+      group.value = static_cast<ValueId>(
+          rng.NextBounded(table.DomainSize(group.attr)));
+      const std::size_t members = 3 + rng.NextBounded(12);
+      for (std::size_t row_index :
+           rng.SampleWithoutReplacement(table.num_rows(), members)) {
+        Update update;
+        update.row = static_cast<RowId>(row_index);
+        update.attr = group.attr;
+        update.value = group.value;
+        update.score = rng.NextDouble();
+        group.updates.push_back(update);
+      }
+      groups.push_back(std::move(group));
+    }
+  }
+
+  // Deterministic synthetic label; what it "means" is irrelevant — the
+  // differential only needs trained committees with real vote structure.
+  Feedback LabelFor(const Update& update) const {
+    return static_cast<Feedback>(
+        (static_cast<std::size_t>(update.row) +
+         static_cast<std::size_t>(update.attr) * 3 +
+         static_cast<std::size_t>(update.value)) %
+        static_cast<std::size_t>(kNumFeedbackClasses));
+  }
+
+  // Feeds every update of every group whose attr is in `attrs` as labeled
+  // feedback and retrains those models.
+  void TrainAttrs(const std::vector<AttrId>& attrs) {
+    for (const UpdateGroup& group : groups) {
+      if (std::find(attrs.begin(), attrs.end(), group.attr) == attrs.end()) {
+        continue;
+      }
+      for (const Update& update : group.updates) {
+        ASSERT_TRUE(bank->AddFeedback(update, LabelFor(update)).ok());
+      }
+    }
+    for (AttrId attr : attrs) ASSERT_TRUE(bank->Retrain(attr).ok());
+  }
+
+  Schema schema;
+  Table table;
+  RuleSet rules;
+  Rng rng;
+  std::unique_ptr<ViolationIndex> index;
+  std::vector<double> weights;
+  std::unique_ptr<LearnerBank> bank;
+  std::vector<UpdateGroup> groups;
+};
+
+void ExpectBatchedMatchesOracle(const RandomLearnerInstance& inst) {
+  std::vector<double> batched;
+  for (const UpdateGroup& group : inst.groups) {
+    inst.bank->ConfirmProbabilities(std::span<const Update>(group.updates),
+                                    &batched);
+    ASSERT_EQ(batched.size(), group.updates.size());
+    for (std::size_t j = 0; j < group.updates.size(); ++j) {
+      EXPECT_EQ(batched[j], inst.bank->ConfirmProbability(group.updates[j]))
+          << "group attr " << group.attr << " update " << j;
+    }
+  }
+}
+
+class LearnerBatchTest : public ::testing::TestWithParam<int> {};
+
+// Untrained bank: both paths fall back to the repair score per update.
+TEST_P(LearnerBatchTest, UntrainedFallbackMatchesOracle) {
+  RandomLearnerInstance inst(static_cast<std::uint64_t>(GetParam()));
+  ExpectBatchedMatchesOracle(inst);
+  std::vector<double> batched;
+  for (const UpdateGroup& group : inst.groups) {
+    inst.bank->ConfirmProbabilities(std::span<const Update>(group.updates),
+                                    &batched);
+    for (std::size_t j = 0; j < group.updates.size(); ++j) {
+      EXPECT_EQ(batched[j], group.updates[j].score);
+    }
+  }
+}
+
+// Trained committees: batched matrix evaluation is bit-identical to the
+// scalar oracle, including across retrain boundaries (models retrained on
+// more feedback mid-stream) and with a mix of trained and untrained attrs.
+TEST_P(LearnerBatchTest, TrainedAndRetrainedMatchesOracle) {
+  RandomLearnerInstance inst(static_cast<std::uint64_t>(GetParam()));
+
+  // Train a strict subset of attributes: the untrained remainder must keep
+  // falling back while trained attrs predict, in the same batch sweep.
+  inst.TrainAttrs({static_cast<AttrId>(0), static_cast<AttrId>(1)});
+  ExpectBatchedMatchesOracle(inst);
+
+  // Retrain boundary: more feedback + Retrain, then re-compare. The
+  // probabilities may move; the two paths must move together.
+  inst.TrainAttrs({static_cast<AttrId>(0), static_cast<AttrId>(1),
+                   static_cast<AttrId>(2), static_cast<AttrId>(3)});
+  ExpectBatchedMatchesOracle(inst);
+}
+
+// A span holding several attr runs back-to-back (the general contract,
+// wider than the one-group-per-call the ranker uses).
+TEST_P(LearnerBatchTest, MixedAttrSpanMatchesOracle) {
+  RandomLearnerInstance inst(static_cast<std::uint64_t>(GetParam()));
+  inst.TrainAttrs({static_cast<AttrId>(1), static_cast<AttrId>(3)});
+
+  std::vector<Update> all;
+  for (const UpdateGroup& group : inst.groups) {
+    all.insert(all.end(), group.updates.begin(), group.updates.end());
+  }
+  std::vector<double> batched;
+  inst.bank->ConfirmProbabilities(std::span<const Update>(all), &batched);
+  ASSERT_EQ(batched.size(), all.size());
+  for (std::size_t j = 0; j < all.size(); ++j) {
+    EXPECT_EQ(batched[j], inst.bank->ConfirmProbability(all[j]));
+  }
+}
+
+// The tentpole gate: Rank under batched inference is bit-identical —
+// scores AND order — to the per-update oracle mode at 1/2/4/8 threads,
+// with trained models in the loop.
+TEST_P(LearnerBatchTest, BatchedInferenceRankingBitIdenticalAcrossThreads) {
+  RandomLearnerInstance inst(static_cast<std::uint64_t>(GetParam()));
+  inst.TrainAttrs({static_cast<AttrId>(0), static_cast<AttrId>(2)});
+
+  const ConfirmProbabilityFn scalar = [&inst](const Update& update) {
+    return inst.bank->ConfirmProbability(update);
+  };
+  const ConfirmProbabilityBatchFn batch_fn =
+      [&inst](std::span<const Update> updates, std::vector<double>* out) {
+        inst.bank->ConfirmProbabilities(updates, out);
+      };
+
+  VoiRanker oracle(inst.index.get(), &inst.weights);
+  oracle.set_inference_mode(VoiRanker::InferenceMode::kPerUpdateOracle);
+  const VoiRanker::Ranking reference = oracle.Rank(inst.groups, scalar);
+  ASSERT_EQ(reference.scores.size(), inst.groups.size());
+
+  for (std::size_t threads : {1u, 2u, 4u, 8u}) {
+    ThreadPool pool(threads);
+    VoiRanker batched(inst.index.get(), &inst.weights, &pool);
+    batched.set_batch_probability_fn(batch_fn);
+    const VoiRanker::Ranking ranking = batched.Rank(inst.groups, scalar);
+    EXPECT_EQ(ranking.scores, reference.scores) << threads << " threads";
+    EXPECT_EQ(ranking.order, reference.order) << threads << " threads";
+  }
+}
+
+// Batched inference accumulates perf counters (encode + tree walk with
+// item counts; probes on the ranker side) — the observability half of the
+// tentpole.
+TEST_P(LearnerBatchTest, PerfCountersAccumulate) {
+  RandomLearnerInstance inst(static_cast<std::uint64_t>(GetParam()));
+  inst.TrainAttrs({static_cast<AttrId>(0), static_cast<AttrId>(1),
+                   static_cast<AttrId>(2), static_cast<AttrId>(3)});
+
+  std::vector<double> out;
+  std::size_t expected = 0;
+  for (const UpdateGroup& group : inst.groups) {
+    inst.bank->ConfirmProbabilities(std::span<const Update>(group.updates),
+                                    &out);
+    // Attrs whose feedback never reached min_training_examples stay
+    // untrained and take the score fallback — no encode, no tree walk.
+    if (inst.bank->IsTrained(group.attr)) expected += group.updates.size();
+  }
+  const PerfCounters& perf = inst.bank->perf_counters();
+  EXPECT_EQ(perf.Count(PerfPhase::kLearnerEncode), expected);
+  EXPECT_EQ(perf.Count(PerfPhase::kLearnerTreeWalk), expected);
+
+  std::size_t total_updates = 0;
+  for (const UpdateGroup& group : inst.groups) {
+    total_updates += group.updates.size();
+  }
+  VoiRanker ranker(inst.index.get(), &inst.weights);
+  ranker.Rank(inst.groups, [&inst](const Update& update) {
+    return inst.bank->ConfirmProbability(update);
+  });
+  EXPECT_EQ(ranker.perf_counters().Count(PerfPhase::kVoiProbe), total_updates);
+  EXPECT_GT(ranker.perf_counters().Seconds(PerfPhase::kVoiProbe), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LearnerBatchTest, ::testing::Range(1, 7));
+
+// ---------------------------------------------------------------------------
+// Whole experiments and the pull API across inference modes.
+
+void ExpectResultsIdentical(const ExperimentResult& a,
+                            const ExperimentResult& b) {
+  EXPECT_EQ(a.stats.initial_dirty, b.stats.initial_dirty);
+  EXPECT_EQ(a.stats.user_feedback, b.stats.user_feedback);
+  EXPECT_EQ(a.stats.user_confirms, b.stats.user_confirms);
+  EXPECT_EQ(a.stats.user_rejects, b.stats.user_rejects);
+  EXPECT_EQ(a.stats.user_retains, b.stats.user_retains);
+  EXPECT_EQ(a.stats.learner_decisions, b.stats.learner_decisions);
+  EXPECT_EQ(a.stats.forced_repairs, b.stats.forced_repairs);
+  EXPECT_EQ(a.stats.outer_iterations, b.stats.outer_iterations);
+  EXPECT_EQ(a.final_loss, b.final_loss);
+  EXPECT_EQ(a.remaining_violations, b.remaining_violations);
+  EXPECT_EQ(a.accuracy.updated_cells, b.accuracy.updated_cells);
+  EXPECT_EQ(a.accuracy.correctly_updated_cells,
+            b.accuracy.correctly_updated_cells);
+  ASSERT_EQ(a.curve.size(), b.curve.size());
+  for (std::size_t i = 0; i < a.curve.size(); ++i) {
+    EXPECT_EQ(a.curve[i].feedback, b.curve[i].feedback);
+    EXPECT_EQ(a.curve[i].improvement_pct, b.curve[i].improvement_pct);
+    EXPECT_EQ(a.curve[i].loss, b.curve[i].loss);
+  }
+}
+
+// Whole experiments — interactive loop, learner retrains, repairs, curve —
+// are bit-identical whether p̃ is evaluated batched or per update, for the
+// learning strategies whose ranking actually consults trained models.
+TEST(LearnerBatchExperimentTest, ExperimentsIdenticalAcrossInferenceModes) {
+  const Dataset dataset =
+      *WorkloadRegistry::Global().Resolve("dataset1:records=600,seed=21");
+
+  for (const Strategy strategy :
+       {Strategy::kGdr, Strategy::kGdrSLearning}) {
+    auto run = [&](VoiRanker::InferenceMode mode) {
+      ExperimentConfig config;
+      config.strategy = strategy;
+      config.feedback_budget = 120;
+      config.seed = 9;
+      config.sample_every = 10;
+      config.learner_inference = mode;
+      auto result = RunStrategyExperiment(dataset, config);
+      EXPECT_TRUE(result.ok());
+      return *result;
+    };
+    const ExperimentResult batched = run(VoiRanker::InferenceMode::kBatched);
+    const ExperimentResult oracle =
+        run(VoiRanker::InferenceMode::kPerUpdateOracle);
+    ExpectResultsIdentical(batched, oracle);
+  }
+}
+
+// The same through the pull API at several thread counts.
+TEST(LearnerBatchExperimentTest, SessionPumpIdenticalAcrossInferenceModes) {
+  const Dataset dataset =
+      *WorkloadRegistry::Global().Resolve("dataset1:records=400,seed=7");
+
+  auto run = [&](VoiRanker::InferenceMode mode, std::size_t threads) {
+    ExperimentConfig config;
+    config.strategy = Strategy::kGdr;
+    config.feedback_budget = 80;
+    config.seed = 5;
+    config.sample_every = 10;
+    config.num_threads = threads;
+    config.driver = ExperimentDriver::kSessionPump;
+    config.learner_inference = mode;
+    auto result = RunStrategyExperiment(dataset, config);
+    EXPECT_TRUE(result.ok());
+    return *result;
+  };
+  const ExperimentResult reference =
+      run(VoiRanker::InferenceMode::kPerUpdateOracle, 1);
+  for (std::size_t threads : {1u, 2u, 4u, 8u}) {
+    ExpectResultsIdentical(run(VoiRanker::InferenceMode::kBatched, threads),
+                           reference);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Mid-session append differential: two sessions differing only in
+// learner_inference must deliver identical suggestion traces through an
+// AppendDirtyRows in the middle (streaming admission rescores groups via
+// ScoreGroup, the other FillProbabilities consumer).
+
+Schema SessionSchema() { return *Schema::Make({"City", "Zip", "State"}); }
+
+RuleSet SessionRules() {
+  RuleSet rules(SessionSchema());
+  EXPECT_TRUE(rules.AddRuleFromString("v1", "City -> Zip").ok());
+  EXPECT_TRUE(rules.AddRuleFromString("v2", "Zip -> City").ok());
+  EXPECT_TRUE(
+      rules.AddRuleFromString("c1", "City=Springfield -> State=IL").ok());
+  return rules;
+}
+
+using Truth = std::vector<std::vector<std::string>>;
+
+Truth BaseTruth() {
+  return {{"Springfield", "Z0", "IL"},
+          {"Springfield", "Z0", "IL"},
+          {"Shelby", "Z1", "IN"},
+          {"Shelby", "Z1", "IN"},
+          {"Dalton", "Z2", "OH"},
+          {"Dalton", "Z2", "OH"}};
+}
+
+Table BaseDirty() {
+  Table table(SessionSchema());
+  Truth rows = BaseTruth();
+  rows[1][1] = "Zx";
+  rows[0][2] = "XX";
+  for (const auto& row : rows) EXPECT_TRUE(table.AppendRow(row).ok());
+  return table;
+}
+
+struct PolicyAnswer {
+  Feedback feedback;
+  std::optional<std::string> volunteered;
+};
+
+PolicyAnswer Answer(const Table& table, const Truth& truth,
+                    const SuggestedUpdate& s) {
+  const std::string& expected =
+      truth[static_cast<std::size_t>(s.update.row)]
+           [static_cast<std::size_t>(s.update.attr)];
+  const std::string& suggested =
+      table.dict(s.update.attr).ToString(s.update.value);
+  if (suggested == expected) return {Feedback::kConfirm, std::nullopt};
+  if (table.at(s.update.row, s.update.attr) == expected) {
+    return {Feedback::kRetain, std::nullopt};
+  }
+  return {Feedback::kReject, expected};
+}
+
+std::string TraceLine(const GdrSession& session, const SuggestedUpdate& s) {
+  return std::to_string(s.update_id) + "|r" + std::to_string(s.update.row) +
+         "|a" + std::to_string(s.update.attr) + "|" +
+         session.table().dict(s.update.attr).ToString(s.update.value) + "|" +
+         std::to_string(s.voi_score);
+}
+
+void Drive(GdrSession* session, const Truth& truth,
+           std::vector<std::string>* trace) {
+  while (session->state() != SessionState::kDone) {
+    const auto batch = session->NextBatch();
+    ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+    if (batch->empty() && session->state() == SessionState::kDone) break;
+    for (const SuggestedUpdate& s : *batch) {
+      if (!session->IsLive(s.update_id)) continue;
+      trace->push_back(TraceLine(*session, s));
+      const PolicyAnswer answer = Answer(session->table(), truth, s);
+      const auto outcome = session->SubmitFeedback(
+          s.update_id, answer.feedback, answer.volunteered);
+      ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+    }
+  }
+}
+
+std::vector<std::string> TableCells(const Table& table) {
+  std::vector<std::string> cells;
+  for (std::size_t r = 0; r < table.num_rows(); ++r) {
+    for (std::size_t a = 0; a < table.num_attrs(); ++a) {
+      cells.push_back(table.at(static_cast<RowId>(r), static_cast<AttrId>(a)));
+    }
+  }
+  return cells;
+}
+
+TEST(LearnerBatchSessionTest, AppendMidSessionIdenticalAcrossInferenceModes) {
+  const RuleSet rules = SessionRules();
+  Truth truth = BaseTruth();
+
+  GdrOptions batched_options;
+  batched_options.strategy = Strategy::kGdr;
+  batched_options.ns = 2;
+  batched_options.seed = 42;
+  batched_options.feedback_budget = 100;
+  // A tiny threshold so the bank actually trains (and retrains) inside
+  // this small session — the inference modes then diverge unless batched
+  // evaluation is truly bit-identical.
+  batched_options.learner.min_training_examples = 4;
+  batched_options.learner_inference = VoiRanker::InferenceMode::kBatched;
+  GdrOptions oracle_options = batched_options;
+  oracle_options.learner_inference = VoiRanker::InferenceMode::kPerUpdateOracle;
+
+  Table table_a = BaseDirty();
+  GdrSession a(&table_a, &rules, batched_options);
+  Table table_b = BaseDirty();
+  GdrSession b(&table_b, &rules, oracle_options);
+  ASSERT_TRUE(a.Start().ok());
+  ASSERT_TRUE(b.Start().ok());
+
+  std::vector<std::string> trace_a;
+  std::vector<std::string> trace_b;
+  const auto batch_a = a.NextBatch();
+  const auto batch_b = b.NextBatch();
+  ASSERT_TRUE(batch_a.ok() && batch_b.ok());
+  ASSERT_FALSE(batch_a->empty());
+  ASSERT_EQ(batch_a->size(), batch_b->size());
+  {
+    const SuggestedUpdate& sa = batch_a->front();
+    const SuggestedUpdate& sb = batch_b->front();
+    EXPECT_EQ(TraceLine(a, sa), TraceLine(b, sb));
+    trace_a.push_back(TraceLine(a, sa));
+    trace_b.push_back(TraceLine(b, sb));
+    const PolicyAnswer pa = Answer(a.table(), truth, sa);
+    const PolicyAnswer pb = Answer(b.table(), truth, sb);
+    ASSERT_TRUE(a.SubmitFeedback(sa.update_id, pa.feedback, pa.volunteered)
+                    .ok());
+    ASSERT_TRUE(b.SubmitFeedback(sb.update_id, pb.feedback, pb.volunteered)
+                    .ok());
+  }
+
+  const std::vector<std::vector<std::string>> arrivals = {
+      {"Springfield", "Z9", "IL"},
+      {"Evanston", "Z5", "IL"},
+      {"Evanston", "Z5", "IL"}};
+  truth.push_back({"Springfield", "Z0", "IL"});
+  truth.push_back({"Evanston", "Z5", "IL"});
+  truth.push_back({"Evanston", "Z5", "IL"});
+  const auto out_a = a.AppendDirtyRows(arrivals);
+  const auto out_b = b.AppendDirtyRows(arrivals);
+  ASSERT_TRUE(out_a.ok() && out_b.ok());
+  EXPECT_GE(out_a->newly_dirty, 1u);
+  EXPECT_EQ(out_a->rows_appended, out_b->rows_appended);
+  EXPECT_EQ(out_a->newly_dirty, out_b->newly_dirty);
+  EXPECT_EQ(out_a->pool_delta, out_b->pool_delta);
+  EXPECT_EQ(out_a->groups_rescored, out_b->groups_rescored);
+
+  Drive(&a, truth, &trace_a);
+  Drive(&b, truth, &trace_b);
+  EXPECT_EQ(trace_a, trace_b);
+  EXPECT_EQ(TableCells(table_a), TableCells(table_b));
+  EXPECT_EQ(a.stats().user_feedback, b.stats().user_feedback);
+  EXPECT_EQ(a.stats().appended_rows, b.stats().appended_rows);
+  EXPECT_EQ(a.stats().admitted_dirty, b.stats().admitted_dirty);
+  EXPECT_EQ(a.Snapshot().Serialize(), b.Snapshot().Serialize());
+}
+
+}  // namespace
+}  // namespace gdr
